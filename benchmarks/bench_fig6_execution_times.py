@@ -1,0 +1,35 @@
+"""Fig. 6: execution times of AprioriAll / AprioriSome / DynamicSome as
+the minimum support decreases — one bench per dataset panel.
+
+Paper shape to verify by eye in the saved reports:
+* AprioriSome tracks AprioriAll closely (within tens of percent) and
+  pulls ahead at the lowest supports;
+* DynamicSome is competitive at high supports and degrades sharply at the
+  bottom of the sweep (its intermediate phase generates candidates from
+  candidate sets).
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_no_disagreement
+from repro.experiments.datasets import PAPER_DATASETS
+from repro.experiments.figures import fig6_execution_times
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASETS)
+def test_fig6_panel(benchmark, save_figure, dataset):
+    figure = benchmark.pedantic(
+        fig6_execution_times, args=(dataset,), rounds=1, iterations=1
+    )
+    save_figure(figure)
+    assert_no_disagreement(figure)
+
+    # Structural checks on the reproduced shape: runtime must grow as
+    # minsup drops, for every algorithm.
+    for algorithm, points in figure.series.items():
+        minsups = [x for x, _ in points]
+        seconds = [y for _, y in points]
+        assert minsups == sorted(minsups, reverse=True)
+        assert seconds[-1] >= seconds[0] * 0.8, (
+            f"{algorithm}: lowest-minsup run unexpectedly cheap: {points}"
+        )

@@ -1,0 +1,20 @@
+"""Fig. 8: scale-up with the number of customers (paper reports ~linear)."""
+
+from benchmarks.conftest import assert_no_disagreement
+from repro.experiments.figures import fig8_scaleup_customers
+
+
+def test_fig8_scaleup_customers(benchmark, save_figure):
+    figure = benchmark.pedantic(fig8_scaleup_customers, rounds=1, iterations=1)
+    save_figure(figure)
+    assert_no_disagreement(figure)
+
+    # Shape check: runtime grows with |D| and stays sub-quadratic — the
+    # paper's point is that one more customer costs O(1) extra work. With
+    # 4x the customers, allow up to ~2.5x-per-doubling of slack for the
+    # candidate-set growth at small scales.
+    for algorithm, points in figure.series.items():
+        factor = points[-1][0] / points[0][0]
+        relative = points[-1][1]
+        assert relative >= 0.8, (algorithm, points)
+        assert relative <= factor ** 2, (algorithm, points)

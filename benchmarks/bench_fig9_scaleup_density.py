@@ -1,0 +1,16 @@
+"""Fig. 9: scale-up with transactions-per-customer and items-per-transaction
+(the paper reports superlinear growth with sequence density)."""
+
+from benchmarks.conftest import assert_no_disagreement
+from repro.experiments.figures import fig9_scaleup_density
+
+
+def test_fig9_scaleup_density(benchmark, save_figure):
+    figure = benchmark.pedantic(fig9_scaleup_density, rounds=1, iterations=1)
+    save_figure(figure)
+    assert_no_disagreement(figure)
+
+    # Each family's relative runtime must grow with density.
+    for family, points in figure.series.items():
+        relatives = [y for _, y in points]
+        assert relatives[-1] >= relatives[0], (family, points)

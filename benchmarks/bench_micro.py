@@ -1,0 +1,120 @@
+"""Micro-benchmarks of the core primitives, with real statistics.
+
+These are classic pytest-benchmark measurements (many rounds) of the hot
+paths every experiment exercises: hash-tree subset/containment lookups,
+greedy containment, the length-2 fast path, candidate generation, and the
+maximal filter.
+"""
+
+import random
+
+import pytest
+
+from repro.core.candidates import apriori_generate
+from repro.core.counting import count_candidates, count_length2
+from repro.core.hashtree import SequenceHashTree
+from repro.core.maximal import maximal_sequences
+from repro.core.sequence import OccurrenceIndex, id_sequence_contains
+from repro.itemsets.hashtree import ItemsetHashTree
+
+RNG = random.Random(1995)
+
+
+def _random_id_events(num_events=10, alphabet=200, per_event=4):
+    return tuple(
+        frozenset(RNG.randint(1, alphabet) for _ in range(per_event))
+        for _ in range(num_events)
+    )
+
+
+CUSTOMERS = [_random_id_events() for _ in range(300)]
+CANDIDATES = sorted(
+    {
+        (RNG.randint(1, 200), RNG.randint(1, 200), RNG.randint(1, 200))
+        for _ in range(500)
+    }
+)
+
+
+def test_itemset_hashtree_subsets(benchmark):
+    stored = sorted(
+        {
+            tuple(sorted(RNG.sample(range(1, 120), RNG.randint(1, 3))))
+            for _ in range(800)
+        }
+    )
+    tree = ItemsetHashTree(stored)
+    transaction = tuple(sorted(RNG.sample(range(1, 120), 8)))
+    benchmark(tree.subsets_of, transaction)
+
+
+def test_sequence_hashtree_contained_in(benchmark):
+    tree = SequenceHashTree(CANDIDATES)
+    events = CUSTOMERS[0]
+
+    def probe():
+        return tree.contained_in(OccurrenceIndex(events))
+
+    benchmark(probe)
+
+
+def test_greedy_containment(benchmark):
+    events = CUSTOMERS[0]
+    pattern = CANDIDATES[0]
+    benchmark(id_sequence_contains, pattern, events)
+
+
+def test_count_candidates_hashtree(benchmark):
+    benchmark.pedantic(
+        count_candidates,
+        args=(CUSTOMERS, CANDIDATES),
+        kwargs={"strategy": "hashtree"},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_count_candidates_naive(benchmark):
+    benchmark.pedantic(
+        count_candidates,
+        args=(CUSTOMERS, CANDIDATES),
+        kwargs={"strategy": "naive"},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_count_length2_fast_path(benchmark):
+    benchmark.pedantic(count_length2, args=(CUSTOMERS,), rounds=3, iterations=1)
+
+
+def test_apriori_generate(benchmark):
+    pairs = sorted({(RNG.randint(1, 60), RNG.randint(1, 60)) for _ in range(900)})
+    benchmark(apriori_generate, pairs)
+
+
+def test_maximal_filter(benchmark):
+    supported = {}
+    for _ in range(400):
+        length = RNG.randint(1, 4)
+        events = tuple(
+            frozenset(RNG.sample(range(1, 40), RNG.randint(1, 2)))
+            for _ in range(length)
+        )
+        supported[events] = RNG.randint(1, 50)
+    benchmark.pedantic(maximal_sequences, args=(supported,), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("strategy", ["hashtree", "naive"])
+def test_counting_strategies_same_result(strategy, benchmark):
+    """Guard: both engines count identically on the micro workload."""
+    counts = benchmark.pedantic(
+        count_candidates,
+        args=(CUSTOMERS[:50], CANDIDATES[:100]),
+        kwargs={"strategy": strategy},
+        rounds=1,
+        iterations=1,
+    )
+    assert sum(counts.values()) == sum(
+        count_candidates(CUSTOMERS[:50], CANDIDATES[:100], strategy="naive").values()
+    )

@@ -1,0 +1,48 @@
+"""Tables 1 & 2: generator parameters and dataset characteristics.
+
+Also benchmarks raw synthetic-data generation per dataset, which the
+paper reports as dataset sizes in Table 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_no_disagreement
+from repro.datagen.generator import generate_database
+from repro.experiments.datasets import (
+    DEFAULT_SEED,
+    PAPER_DATASETS,
+    bench_customers,
+    dataset_params,
+)
+from repro.experiments.figures import table1_parameters, table2_datasets
+
+
+def test_table1_parameters(benchmark, save_figure):
+    figure = benchmark.pedantic(table1_parameters, rounds=1, iterations=1)
+    save_figure(figure)
+    assert len(figure.rows) == 8
+
+
+def test_table2_datasets(benchmark, save_figure):
+    figure = benchmark.pedantic(table2_datasets, rounds=1, iterations=1)
+    save_figure(figure)
+    assert_no_disagreement(figure)
+    assert len(figure.rows) == len(PAPER_DATASETS)
+    # Density knobs must show up in the generated data: C20 datasets have
+    # ~2x the transactions of C10 datasets.
+    by_name = {row[0]: row for row in figure.rows}
+    c10 = by_name["C10-T2.5-S4-I1.25"][2]
+    c20 = by_name["C20-T2.5-S4-I1.25"][2]
+    assert c20 > 1.5 * c10
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASETS)
+def test_generation_speed(benchmark, dataset):
+    """Data generation cost per dataset (not a paper figure, but the
+    substrate every experiment pays for)."""
+    params = dataset_params(dataset, num_customers=bench_customers())
+    db = benchmark.pedantic(
+        generate_database, args=(params,), kwargs={"seed": DEFAULT_SEED},
+        rounds=1, iterations=1,
+    )
+    assert db.num_customers == params.num_customers

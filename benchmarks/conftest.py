@@ -1,0 +1,48 @@
+"""Shared plumbing for the benchmark suite.
+
+Every bench regenerates one table/figure of the paper via
+:mod:`repro.experiments.figures`, times it with pytest-benchmark, prints
+the paper-style rows, and saves the rendered report under
+``benchmarks/results/<figure-id>.txt`` so the numbers survive the run.
+
+The experiment runs take seconds each (they are whole mining sweeps), so
+benches use ``benchmark.pedantic(rounds=1)`` — the interesting numbers are
+the *per-run rows inside each figure*, not statistical timing of the
+sweep wrapper. Micro-benchmarks of the core primitives (hash trees,
+containment, counting) live in ``bench_micro.py`` with normal rounds.
+
+Scale knobs (see EXPERIMENTS.md):
+
+* ``REPRO_BENCH_CUSTOMERS`` — |D| for bench datasets (default 600).
+* ``REPRO_BENCH_FAST=1`` — 3-point sweeps at |D|=400 for smoke runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_figure():
+    """Persist and print a rendered FigureResult."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(figure) -> None:
+        rendered = figure.render()
+        (RESULTS_DIR / f"{figure.figure_id}.txt").write_text(
+            rendered + "\n", encoding="utf-8"
+        )
+        print(f"\n{rendered}\n", file=sys.stderr)
+
+    return _save
+
+
+def assert_no_disagreement(figure) -> None:
+    """Benches double as integration tests: algorithm disagreement fails."""
+    problems = [note for note in figure.notes if "DISAGREEMENT" in note]
+    assert not problems, problems

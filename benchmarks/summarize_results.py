@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Append the recorded figure tables to EXPERIMENTS.md.
+
+Run after a full ``pytest benchmarks/ --benchmark-only`` pass; it quotes
+selected ``benchmarks/results/*.txt`` reports (tables only, charts
+stripped) into a "Measured results" section so EXPERIMENTS.md carries
+the actual numbers of the recorded run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+MARKER = "## Measured results (final recorded run)"
+
+QUOTED = [
+    "table2-datasets",
+    "fig6-C10-T2.5-S4-I1.25",
+    "fig6-C10-T5-S4-I1.25",
+    "fig6-C10-T5-S4-I2.5",
+    "fig6-C20-T2.5-S4-I1.25",
+    "fig6-C20-T2.5-S8-I1.25",
+    "fig7-candidates",
+    "fig8-scaleup-customers",
+    "fig9-scaleup-density",
+    "ablation-counting",
+    "ablation-phases",
+    "ablation-next-policy",
+    "ablation-dynamic-step",
+    "baseline-prefixspan",
+]
+
+
+def table_part(text: str) -> str:
+    """Strip the ASCII chart: keep everything before the chart header."""
+    lines = []
+    for line in text.splitlines():
+        if line.startswith(("fig6-", "fig7-", "fig8-", "fig9-")) and " vs " in line:
+            break
+        lines.append(line.rstrip())
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def main() -> None:
+    content = EXPERIMENTS.read_text(encoding="utf-8")
+    if MARKER in content:
+        content = content[: content.index(MARKER)].rstrip() + "\n"
+    sections = [MARKER, ""]
+    for figure_id in QUOTED:
+        path = RESULTS / f"{figure_id}.txt"
+        if not path.exists():
+            sections.append(f"### {figure_id}\n\n(not recorded)\n")
+            continue
+        sections.append(f"### {figure_id}\n")
+        sections.append("```")
+        sections.append(table_part(path.read_text(encoding="utf-8")))
+        sections.append("```")
+        sections.append("")
+    EXPERIMENTS.write_text(
+        content.rstrip() + "\n\n" + "\n".join(sections) + "\n", encoding="utf-8"
+    )
+    print(f"EXPERIMENTS.md updated with {len(QUOTED)} recorded tables")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare the paper's three algorithms on a synthetic retail workload.
+
+Generates the paper's C10-T2.5-S4-I1.25 dataset at laptop scale and runs
+AprioriAll, AprioriSome and DynamicSome over a small minimum-support
+sweep — a miniature of the paper's Figure 6. The three algorithms must
+find identical pattern sets; they differ in how many candidates they
+count, which is what the table shows.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from repro import SyntheticParams, generate_database
+from repro.analysis.report import format_table
+from repro.experiments.harness import RunRecord, run_mining
+
+DATASET = "C10-T2.5-S4-I1.25"
+MINSUPS = (0.025, 0.015)
+
+
+def main() -> None:
+    params = SyntheticParams.from_name(DATASET, num_customers=500)
+    print(f"generating {DATASET} with |D|={params.num_customers} ...")
+    db = generate_database(params, seed=1995)
+    print(db.stats().as_row())
+
+    rows = []
+    answers: dict[float, list] = {}
+    for minsup in MINSUPS:
+        for algorithm in ("aprioriall", "apriorisome", "dynamicsome"):
+            record, result = run_mining(
+                db, dataset=DATASET, algorithm=algorithm, minsup=minsup
+            )
+            rows.append(record.as_row())
+            previous = answers.setdefault(minsup, result.sequences())
+            assert previous == result.sequences(), (
+                f"{algorithm} disagreed at minsup={minsup}!"
+            )
+
+    print()
+    print(format_table(RunRecord.ROW_HEADERS, rows,
+                       title=f"algorithm comparison on {DATASET}"))
+    print("\nall three algorithms returned identical maximal patterns "
+          f"at every support level ({[len(v) for v in answers.values()]} patterns).")
+
+
+if __name__ == "__main__":
+    main()

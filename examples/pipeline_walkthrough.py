@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Walk through the five phases of the paper's method, one at a time.
+
+`mine_sequential_patterns` hides the pipeline; this example runs each
+phase by hand on the paper's example database and prints the intermediate
+artifacts — the litemsets, the integer mapping, the transformed customer
+sequences, the large sequences per length, and finally the maximal
+answer. It reproduces, step by step, the worked example in Section 3 of
+the paper.
+
+Run:  python examples/pipeline_walkthrough.py
+"""
+
+from repro import SequenceDatabase, Transaction
+from repro.core.aprioriall import apriori_all
+from repro.core.maximal import maximal_sequences, sequence_of_events
+from repro.db.transform import transform_database
+from repro.itemsets.apriori import find_litemsets
+from repro.itemsets.litemsets import LitemsetCatalog
+
+MINSUP = 0.25
+
+# Phase 1 input: the raw transaction table, deliberately out of order.
+RAW_ROWS = [
+    Transaction(2, 200, (30,)),
+    Transaction(1, 100, (30,)),
+    Transaction(4, 100, (30,)),
+    Transaction(5, 100, (90,)),
+    Transaction(2, 100, (10, 20)),
+    Transaction(3, 100, (30, 50, 70)),
+    Transaction(1, 200, (90,)),
+    Transaction(4, 300, (90,)),
+    Transaction(4, 200, (40, 70)),
+    Transaction(2, 300, (40, 60, 70)),
+]
+
+
+def main() -> None:
+    # ---- Phase 1: sort ------------------------------------------------
+    db = SequenceDatabase.from_transactions(RAW_ROWS)
+    print("phase 1 — sort: customer sequences")
+    for customer in db:
+        print(f"  {customer.customer_id}: {customer.as_sequence()}")
+
+    # ---- Phase 2: litemsets -------------------------------------------
+    litemsets = find_litemsets(db, MINSUP)
+    catalog = LitemsetCatalog.from_result(litemsets)
+    print(f"\nphase 2 — litemset: {len(catalog)} large itemsets "
+          f"(threshold {db.threshold(MINSUP)} customers)")
+    for itemset in catalog:
+        lid = catalog.id_of(itemset)
+        print(f"  {itemset!r:12} -> id {lid} (support {catalog.support_of(lid)})")
+
+    # ---- Phase 3: transformation --------------------------------------
+    tdb = transform_database(db, catalog)
+    print("\nphase 3 — transformation: events as litemset-id sets")
+    for cid, events in zip(tdb.customer_ids, tdb.sequences):
+        rendered = " ".join("{" + ",".join(map(str, sorted(e))) + "}" for e in events)
+        print(f"  {cid}: {rendered}")
+    print(f"  (dropped {tdb.num_dropped_customers} empty customers)")
+
+    # ---- Phase 4: sequence (AprioriAll here) ---------------------------
+    phase = apriori_all(tdb, db.threshold(MINSUP))
+    print("\nphase 4 — sequence: large sequences per length")
+    for length, larges in sorted(phase.large_by_length.items()):
+        rendered = ", ".join(
+            f"{catalog.expand(ids)}:{count}" for ids, count in sorted(larges.items())
+        )
+        print(f"  L{length}: {rendered}")
+
+    # ---- Phase 5: maximal ----------------------------------------------
+    expanded = {
+        catalog.expand_events(ids): count
+        for ids, count in phase.all_large().items()
+    }
+    maximal = maximal_sequences(expanded)
+    print("\nphase 5 — maximal: the answer")
+    for events, count in sorted(maximal.items(), key=lambda kv: len(kv[0])):
+        print(f"  {sequence_of_events(events)} (support {count})")
+
+
+if __name__ == "__main__":
+    main()

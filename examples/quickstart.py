@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: mine the paper's own example database.
+
+This is the running example of Section 2 of "Mining Sequential Patterns"
+(Agrawal & Srikant, ICDE 1995): five customers of a video-rental store.
+With a 25 % minimum support the answer is exactly two maximal patterns,
+<(30)(90)> and <(30)(40 70)> — every other frequent sequence (like
+<(30)>) is contained in one of them.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SequenceDatabase, mine_sequential_patterns
+
+# One row per customer; each inner tuple is a transaction (itemset),
+# already in time order. Items are product ids.
+db = SequenceDatabase.from_sequences(
+    [
+        [(30,), (90,)],                    # customer 1
+        [(10, 20), (30,), (40, 60, 70)],   # customer 2
+        [(30, 50, 70)],                    # customer 3
+        [(30,), (40, 70), (90,)],          # customer 4
+        [(90,)],                           # customer 5
+    ]
+)
+
+
+def main() -> None:
+    result = mine_sequential_patterns(db, minsup=0.25)
+
+    print(f"customers:        {result.num_customers}")
+    print(f"support threshold: {result.threshold} customers")
+    print(f"litemsets found:  {result.num_litemsets}")
+    print(f"maximal patterns: {result.num_patterns}")
+    print()
+    for pattern in result.patterns:
+        print(f"  {pattern}")
+
+    # The same answer comes out of all three algorithms of the paper.
+    for algorithm in ("aprioriall", "apriorisome", "dynamicsome"):
+        alt = mine_sequential_patterns(db, minsup=0.25, algorithm=algorithm)
+        assert alt.sequences() == result.sequences(), algorithm
+    print("\nAprioriAll, AprioriSome and DynamicSome all agree.")
+
+
+if __name__ == "__main__":
+    main()

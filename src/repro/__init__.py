@@ -1,0 +1,76 @@
+"""repro — a reproduction of "Mining Sequential Patterns" (ICDE 1995).
+
+Agrawal & Srikant's paper defined the sequential-pattern-mining problem
+and gave three algorithms for it: **AprioriAll**, **AprioriSome**, and
+**DynamicSome**, all built on a five-phase pipeline (sort → litemset →
+transformation → sequence → maximal). This package implements the full
+pipeline, the three algorithms, the paper's synthetic data generator, a
+brute-force oracle, and the experiment harness that regenerates the
+paper's evaluation figures.
+
+Quickstart::
+
+    from repro import SequenceDatabase, mine_sequential_patterns
+
+    db = SequenceDatabase.from_sequences([
+        [(30,), (90,)],
+        [(10, 20), (30,), (40, 60, 70)],
+        [(30, 50, 70)],
+        [(30,), (40, 70), (90,)],
+        [(90,)],
+    ])
+    result = mine_sequential_patterns(db, minsup=0.25)
+    for pattern in result.patterns:
+        print(pattern)
+"""
+
+from repro.core.apriorisome import NextLengthPolicy
+from repro.core.miner import (
+    ALGORITHM_NAMES,
+    AlgorithmName,
+    MiningParams,
+    MiningResult,
+    Pattern,
+    mine,
+    mine_from_transactions,
+    mine_sequential_patterns,
+)
+from repro.core.phase import CountingOptions
+from repro.core.sequence import (
+    Itemset,
+    Sequence,
+    format_sequence,
+    make_itemset,
+    parse_sequence,
+)
+from repro.datagen.generator import generate_database
+from repro.datagen.params import SyntheticParams
+from repro.db.database import CustomerSequence, SequenceDatabase, support_threshold
+from repro.db.records import Transaction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AlgorithmName",
+    "CountingOptions",
+    "CustomerSequence",
+    "Itemset",
+    "MiningParams",
+    "MiningResult",
+    "NextLengthPolicy",
+    "Pattern",
+    "Sequence",
+    "SequenceDatabase",
+    "SyntheticParams",
+    "Transaction",
+    "format_sequence",
+    "generate_database",
+    "make_itemset",
+    "mine",
+    "mine_from_transactions",
+    "mine_sequential_patterns",
+    "parse_sequence",
+    "support_threshold",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""Result comparison and report formatting for the experiment harness."""

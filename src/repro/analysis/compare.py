@@ -1,0 +1,110 @@
+"""Comparison of mining results.
+
+Used by the experiment harness to check that different algorithms (or the
+same algorithm under different knobs) return identical answers, and to
+quantify disagreement when they deliberately should not (e.g. capped
+pattern length vs. uncapped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.miner import MiningResult, Pattern
+from repro.core.sequence import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class ResultDiff:
+    """Set-level comparison of two pattern collections."""
+
+    num_left: int
+    num_right: int
+    common: tuple[Sequence, ...]
+    only_left: tuple[Sequence, ...]
+    only_right: tuple[Sequence, ...]
+    support_mismatches: tuple[tuple[Sequence, int, int], ...]
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.only_left
+            and not self.only_right
+            and not self.support_mismatches
+        )
+
+    @property
+    def jaccard(self) -> float:
+        union = len(self.common) + len(self.only_left) + len(self.only_right)
+        if union == 0:
+            return 1.0
+        return len(self.common) / union
+
+    def completeness_of_right(self) -> float:
+        """Fraction of left's patterns that right found (recall of right)."""
+        if self.num_left == 0:
+            return 1.0
+        return len(self.common) / self.num_left
+
+    def describe(self) -> str:
+        if self.identical:
+            return f"identical ({self.num_left} patterns)"
+        parts = [
+            f"{len(self.common)} common",
+            f"{len(self.only_left)} only-left",
+            f"{len(self.only_right)} only-right",
+        ]
+        if self.support_mismatches:
+            parts.append(f"{len(self.support_mismatches)} support mismatches")
+        return ", ".join(parts)
+
+
+def _as_support_map(
+    patterns: Iterable[Pattern] | MiningResult,
+) -> dict[Sequence, int]:
+    if isinstance(patterns, MiningResult):
+        patterns = patterns.patterns
+    return {p.sequence: p.count for p in patterns}
+
+
+def compare_results(
+    left: Iterable[Pattern] | MiningResult,
+    right: Iterable[Pattern] | MiningResult,
+) -> ResultDiff:
+    """Compare two pattern collections by sequence identity and support."""
+    left_map = _as_support_map(left)
+    right_map = _as_support_map(right)
+    common = sorted(
+        (s for s in left_map if s in right_map), key=Sequence.sort_key
+    )
+    mismatches = tuple(
+        (s, left_map[s], right_map[s]) for s in common if left_map[s] != right_map[s]
+    )
+    return ResultDiff(
+        num_left=len(left_map),
+        num_right=len(right_map),
+        common=tuple(common),
+        only_left=tuple(
+            sorted((s for s in left_map if s not in right_map), key=Sequence.sort_key)
+        ),
+        only_right=tuple(
+            sorted((s for s in right_map if s not in left_map), key=Sequence.sort_key)
+        ),
+        support_mismatches=mismatches,
+    )
+
+
+def pattern_length_histogram(
+    patterns: Iterable[Pattern] | MiningResult,
+) -> dict[int, int]:
+    """Count of maximal patterns per length — a common summary in follow-up
+    papers and a quick sanity check on mined output."""
+    if isinstance(patterns, MiningResult):
+        patterns = patterns.patterns
+    histogram: dict[int, int] = {}
+    for pattern in patterns:
+        histogram[pattern.sequence.length] = (
+            histogram.get(pattern.sequence.length, 0) + 1
+        )
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,1 @@
+"""Reference implementations used as oracles and comparison baselines."""

@@ -1,0 +1,203 @@
+"""PrefixSpan baseline (Pei et al., IEEE TKDE 2004).
+
+The pattern-growth successor to the 1995 paper's candidate-generate-and-
+test algorithms, included as an independently-implemented comparator:
+
+* it shares **no code path** with the Apriori* miners — no litemset
+  phase, no transformation, no candidate generation — so agreement
+  between the two families is strong evidence both are right
+  (``tests/test_prefixspan.py`` makes that a property test);
+* it is the baseline every follow-up paper compares against, which makes
+  the AprioriAll-vs-PrefixSpan bench (``benchmarks/bench_baselines.py``)
+  the natural "who wins" ablation.
+
+The algorithm grows patterns depth-first. For a current pattern (the
+*prefix*) it keeps a pseudo-projection — per customer, the index of the
+event where the prefix's last element matched earliest — and counts two
+kinds of single-item extensions in one scan:
+
+* **s-extension**: item ``x`` opens a new event; it counts for a customer
+  if ``x`` occurs in any event strictly after the matched position.
+* **i-extension**: item ``x`` joins the last event ``e``; it counts if
+  some event at or after the matched position contains ``e ∪ {x}``.
+  Enumeration stays canonical by requiring ``x > max(e)``.
+
+Earliest-match positions dominate all alternatives for both extension
+kinds, so the greedy projection is lossless. PrefixSpan reports **all**
+frequent sequences; apply :func:`repro.core.maximal.maximal_sequences`
+to compare with the 1995 answer (the miner's ``maximal=True`` does it).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.core.maximal import maximal_sequences
+from repro.core.miner import Pattern
+from repro.core.sequence import Sequence
+from repro.db.database import SequenceDatabase
+
+
+def prefixspan_mine(
+    db: SequenceDatabase,
+    minsup: float,
+    *,
+    max_pattern_length: int | None = None,
+    maximal: bool = False,
+) -> list[Pattern]:
+    """Mine frequent sequences with PrefixSpan.
+
+    ``max_pattern_length`` caps the number of events, matching the core
+    miner's knob. With ``maximal=True`` the result is filtered to maximal
+    sequences — the 1995 paper's answer set.
+    """
+    threshold = db.threshold(minsup)
+    customers = [
+        tuple(frozenset(event) for event in customer.events) for customer in db
+    ]
+    results: dict[tuple[frozenset[int], ...], int] = {}
+
+    # Length-1 seeds: frequent single items.
+    item_counts: Counter = Counter()
+    for events in customers:
+        seen: set[int] = set()
+        for event in events:
+            seen |= event
+        for item in seen:
+            item_counts[item] += 1
+
+    for item in sorted(item for item, c in item_counts.items() if c >= threshold):
+        projection = []
+        for cust_index, events in enumerate(customers):
+            position = _first_event_with(events, frozenset((item,)), 0)
+            if position is not None:
+                projection.append((cust_index, position))
+        prefix = (frozenset((item,)),)
+        results[prefix] = len(projection)
+        _grow(
+            prefix,
+            projection,
+            customers,
+            threshold,
+            max_pattern_length,
+            results,
+        )
+
+    if maximal:
+        results = maximal_sequences(results)
+
+    num_customers = db.num_customers
+    patterns = [
+        Pattern(
+            sequence=Sequence(tuple(sorted(event)) for event in events),
+            count=count,
+            support=count / num_customers if num_customers else 0.0,
+        )
+        for events, count in results.items()
+    ]
+    patterns.sort(key=lambda p: p.sequence.sort_key())
+    return patterns
+
+
+def _first_event_with(
+    events: tuple[frozenset[int], ...], needed: frozenset[int], start: int
+) -> int | None:
+    for index in range(start, len(events)):
+        if needed <= events[index]:
+            return index
+    return None
+
+
+def _grow(
+    prefix: tuple[frozenset[int], ...],
+    projection: list[tuple[int, int]],
+    customers: list[tuple[frozenset[int], ...]],
+    threshold: int,
+    max_pattern_length: int | None,
+    results: dict[tuple[frozenset[int], ...], int],
+) -> None:
+    last_event = prefix[-1]
+    last_max = max(last_event)
+    can_s_extend = (
+        max_pattern_length is None or len(prefix) < max_pattern_length
+    )
+
+    s_counts: Counter = Counter()
+    i_counts: Counter = Counter()
+    for cust_index, position in projection:
+        events = customers[cust_index]
+        if can_s_extend:
+            s_seen: set[int] = set()
+            for index in range(position + 1, len(events)):
+                s_seen |= events[index]
+            for item in s_seen:
+                s_counts[item] += 1
+        i_seen: set[int] = set()
+        for index in range(position, len(events)):
+            event = events[index]
+            if last_event <= event:
+                for item in event:
+                    if item > last_max:
+                        i_seen.add(item)
+        for item in i_seen:
+            i_counts[item] += 1
+
+    for item in sorted(i for i, c in i_counts.items() if c >= threshold):
+        extended_event = last_event | {item}
+        new_projection = []
+        for cust_index, position in projection:
+            new_position = _first_event_with(
+                customers[cust_index], extended_event, position
+            )
+            if new_position is not None:
+                new_projection.append((cust_index, new_position))
+        new_prefix = prefix[:-1] + (extended_event,)
+        results[new_prefix] = len(new_projection)
+        _grow(
+            new_prefix,
+            new_projection,
+            customers,
+            threshold,
+            max_pattern_length,
+            results,
+        )
+
+    if not can_s_extend:
+        return
+    for item in sorted(i for i, c in s_counts.items() if c >= threshold):
+        needed = frozenset((item,))
+        new_projection = []
+        for cust_index, position in projection:
+            new_position = _first_event_with(
+                customers[cust_index], needed, position + 1
+            )
+            if new_position is not None:
+                new_projection.append((cust_index, new_position))
+        new_prefix = prefix + (needed,)
+        results[new_prefix] = len(new_projection)
+        _grow(
+            new_prefix,
+            new_projection,
+            customers,
+            threshold,
+            max_pattern_length,
+            results,
+        )
+
+
+def prefixspan_frequent_set(
+    db: SequenceDatabase, minsup: float
+) -> dict[Sequence, int]:
+    """Convenience: the full frequent set as a {Sequence: count} map."""
+    return {
+        p.sequence: p.count for p in prefixspan_mine(db, minsup)
+    }
+
+
+def iter_frequent_counts(
+    patterns: Iterable[Pattern],
+) -> Iterable[tuple[str, int]]:
+    """(rendered sequence, count) pairs — handy for goldens and reports."""
+    for pattern in patterns:
+        yield str(pattern.sequence), pattern.count

@@ -1,0 +1,174 @@
+"""Command-line interface: ``seqmine`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``seqmine generate`` — write a synthetic dataset (SPMF or CSV).
+* ``seqmine mine`` — run the five-phase miner over a dataset file.
+* ``seqmine info`` — dataset statistics (paper Table 2 columns).
+* ``seqmine experiment`` — regenerate a paper table/figure by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence as PySequence
+
+from repro.analysis.compare import pattern_length_histogram
+from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.datagen.generator import generate_database
+from repro.datagen.params import SyntheticParams
+from repro.db.database import SequenceDatabase
+from repro.io.csvio import (
+    database_to_transactions,
+    read_database_csv,
+    write_transactions_csv,
+)
+from repro.io.patterns import patterns_to_json, write_patterns
+from repro.io.spmf import read_spmf, write_spmf
+
+
+def _load_database(path: str, fmt: str) -> SequenceDatabase:
+    if fmt == "spmf":
+        return read_spmf(path)
+    if fmt == "csv":
+        return read_database_csv(path)
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    params = SyntheticParams.from_name(
+        args.dataset, num_customers=args.customers
+    )
+    db = generate_database(params, seed=args.seed)
+    if args.format == "spmf":
+        write_spmf(db, args.output)
+    else:
+        write_transactions_csv(database_to_transactions(db), args.output)
+    stats = db.stats()
+    print(
+        f"wrote {args.output}: {stats.num_customers} customers, "
+        f"{stats.num_transactions} transactions "
+        f"({stats.approx_size_mb:.2f} MB est.)"
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db = _load_database(args.input, args.format)
+    params = MiningParams(
+        minsup=args.minsup,
+        algorithm=args.algorithm,
+        dynamic_step=args.dynamic_step,
+        max_pattern_length=args.max_length,
+    )
+    result = mine(db, params)
+    print(result.summary(), file=sys.stderr)
+    if args.output:
+        write_patterns(result.patterns, args.output)
+        print(f"wrote {result.num_patterns} patterns to {args.output}",
+              file=sys.stderr)
+    elif args.json:
+        print(patterns_to_json(result.patterns))
+    else:
+        for pattern in result.patterns:
+            print(pattern)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = _load_database(args.input, args.format)
+    for key, value in db.stats().as_row().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import EXPERIMENTS
+
+    if args.list or not args.experiment_id:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    builder = EXPERIMENTS.get(args.experiment_id)
+    if builder is None:
+        print(f"unknown experiment {args.experiment_id!r}; use --list",
+              file=sys.stderr)
+        return 2
+    result = builder()
+    print(result.render(chart=not args.no_chart))
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    db = _load_database(args.input, args.format)
+    result = mine(db, MiningParams(minsup=args.minsup))
+    for length, count in pattern_length_histogram(result).items():
+        print(f"length {length}: {count} maximal patterns")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="seqmine",
+        description="Mining Sequential Patterns (Agrawal & Srikant, ICDE 1995) "
+        "— AprioriAll / AprioriSome / DynamicSome",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--dataset", default="C10-T2.5-S4-I1.25",
+                     help="paper-style name, e.g. C10-T2.5-S4-I1.25")
+    gen.add_argument("--customers", type=int, default=SyntheticParams().num_customers)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--format", choices=("spmf", "csv"), default="spmf")
+    gen.add_argument("--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    mine_cmd = sub.add_parser("mine", help="mine sequential patterns from a file")
+    mine_cmd.add_argument("--input", required=True)
+    mine_cmd.add_argument("--format", choices=("spmf", "csv"), default="spmf")
+    mine_cmd.add_argument("--minsup", type=float, required=True,
+                          help="minimum support as a fraction, e.g. 0.01")
+    mine_cmd.add_argument("--algorithm", choices=ALGORITHM_NAMES,
+                          default="aprioriall")
+    mine_cmd.add_argument("--dynamic-step", type=int, default=2)
+    mine_cmd.add_argument("--max-length", type=int, default=None)
+    mine_cmd.add_argument("--output", default=None,
+                          help="write patterns to this file instead of stdout")
+    mine_cmd.add_argument("--json", action="store_true",
+                          help="print patterns as JSON")
+    mine_cmd.set_defaults(func=_cmd_mine)
+
+    info = sub.add_parser("info", help="print dataset statistics")
+    info.add_argument("--input", required=True)
+    info.add_argument("--format", choices=("spmf", "csv"), default="spmf")
+    info.set_defaults(func=_cmd_info)
+
+    hist = sub.add_parser("histogram", help="pattern-length histogram")
+    hist.add_argument("--input", required=True)
+    hist.add_argument("--format", choices=("spmf", "csv"), default="spmf")
+    hist.add_argument("--minsup", type=float, required=True)
+    hist.set_defaults(func=_cmd_histogram)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("experiment_id", nargs="?", default=None)
+    exp.add_argument("--list", action="store_true", help="list experiment ids")
+    exp.add_argument("--no-chart", action="store_true")
+    exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: PySequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,1 @@
+"""The paper's primary contribution: the sequence phase and its pipeline."""

@@ -1,0 +1,79 @@
+"""The backward phase shared by AprioriSome and DynamicSome.
+
+Both "Some" algorithms leave some candidate lengths uncounted after their
+forward phases. The backward phase walks the lengths from longest to
+shortest and, for every skipped length k:
+
+1. deletes candidates contained in an already-known large sequence of a
+   greater length — such a candidate is necessarily large (support is
+   monotone under containment) but cannot be maximal, so counting it would
+   be wasted work;
+2. counts the surviving candidates in one database pass and records the
+   large ones.
+
+Counted lengths contribute their large sequences to the containment index
+as the walk passes them, so every pruning decision at length k sees all
+large sequences of lengths > k. Containment here is the itemset-aware
+relation, which requires expanding id sequences through the litemset
+catalog (see :mod:`repro.core.maximal`).
+
+The paper folds non-maximal deletion of *counted* lengths into this phase
+as well; this implementation leaves that to the shared final maximal
+filter so that all three algorithms provably return identical answers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Collection
+
+from repro.core.counting import count_candidates, filter_large
+from repro.core.maximal import ContainmentIndex, SequenceExpander
+from repro.core.phase import CountingOptions, SequencePhaseResult
+from repro.core.sequence import IdSequence
+from repro.db.transform import TransformedDatabase
+
+
+def backward_phase(
+    tdb: TransformedDatabase,
+    threshold: int,
+    result: SequencePhaseResult,
+    candidates_by_length: dict[int, Collection[IdSequence]],
+    counted_lengths: set[int],
+    *,
+    counting: CountingOptions = CountingOptions(),
+) -> None:
+    """Count all skipped candidate lengths, mutating ``result`` in place."""
+    if not candidates_by_length:
+        return
+    expander = SequenceExpander(tdb.catalog)
+    index = ContainmentIndex()
+    stats = result.stats
+    for length in range(max(candidates_by_length), 1, -1):
+        if length in counted_lengths:
+            for sequence in result.large_by_length.get(length, ()):
+                index.add(expander.expand(sequence))
+            continue
+        candidates = candidates_by_length.get(length, ())
+        if not candidates:
+            continue
+        remaining = [
+            candidate
+            for candidate in candidates
+            if not index.contains_super_of(expander.expand(candidate))
+        ]
+        stats.skipped_by_containment += len(candidates) - len(remaining)
+        started = time.perf_counter()
+        counts = count_candidates(tdb.sequences, remaining, **counting.kwargs())
+        large = filter_large(counts, threshold)
+        stats.record_pass(
+            length=length,
+            phase="backward",
+            num_candidates=len(remaining),
+            num_large=len(large),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if large:
+            result.large_by_length[length] = large
+            for sequence in large:
+                index.add(expander.expand(sequence))

@@ -1,0 +1,78 @@
+"""Candidate generation for the sequence phase: ``apriori_generate``.
+
+Works over the litemset-id alphabet produced by the transformation phase,
+where a candidate k-sequence is a tuple of k ids. The procedure is the
+sequence analogue of the VLDB 1994 join:
+
+* **Join** — ``s1`` joins ``s2`` when dropping the first id of ``s1``
+  equals dropping the last id of ``s2``; the candidate is ``s1`` extended
+  with the last id of ``s2``. For k = 2 the shared part is empty, so the
+  join yields *all ordered pairs*, including ``(x, x)`` — a customer can
+  buy the same litemset twice.
+* **Prune** — a candidate is kept only if every (k−1)-subsequence obtained
+  by deleting one id is in the prune universe (normally ``L_{k-1}``;
+  AprioriSome prunes against ``C_{k-1}`` when ``L_{k-1}`` was never
+  counted).
+
+Unlike the itemset join, sequence order matters, so there is no
+"first k−2 items equal" symmetry trick; the join is indexed by the
+(k−2)-length overlap instead.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable
+
+from repro.core.sequence import IdSequence
+
+
+def apriori_generate(
+    large_prev: Collection[IdSequence],
+    *,
+    prune_universe: Collection[IdSequence] | None = None,
+) -> list[IdSequence]:
+    """Generate candidate k-sequences from (k−1)-sequences.
+
+    ``prune_universe`` defaults to ``large_prev``. The result is sorted for
+    determinism.
+    """
+    prev = sorted(set(large_prev))
+    if not prev:
+        return []
+    k_minus_1 = len(prev[0])
+    if any(len(s) != k_minus_1 for s in prev):
+        raise ValueError("all sequences must have equal length for the join")
+    universe = set(prune_universe) if prune_universe is not None else set(prev)
+
+    by_overlap: dict[IdSequence, list[IdSequence]] = {}
+    for seq in prev:
+        by_overlap.setdefault(seq[:-1], []).append(seq)
+
+    candidates: list[IdSequence] = []
+    for seq in prev:
+        overlap = seq[1:]
+        for extender in by_overlap.get(overlap, ()):
+            candidate = seq + (extender[-1],)
+            if has_all_subsequences(candidate, universe):
+                candidates.append(candidate)
+    candidates.sort()
+    return candidates
+
+
+def has_all_subsequences(
+    candidate: IdSequence, universe: Collection[IdSequence]
+) -> bool:
+    """True iff every delete-one subsequence of ``candidate`` is in
+    ``universe``. (The two subsequences that formed the join are included
+    by construction, but checking all of them keeps the code obviously
+    correct and costs k hash lookups.)"""
+    for drop in range(len(candidate)):
+        if candidate[:drop] + candidate[drop + 1 :] not in universe:
+            return False
+    return True
+
+
+def delete_one_subsequences(candidate: IdSequence) -> Iterable[IdSequence]:
+    """All (k−1)-subsequences of a k-sequence (delete each position once)."""
+    for drop in range(len(candidate)):
+        yield candidate[:drop] + candidate[drop + 1 :]

@@ -1,0 +1,153 @@
+"""The maximal phase (phase 5) and itemset-aware containment indexing.
+
+The answer to the mining problem is the set of *maximal* large sequences.
+Containment here is the paper's itemset-subset-aware relation — e.g.
+``<(a)(c)>`` is contained in ``<(ab)(cd)>`` even though, over the
+litemset-id alphabet, the two share no symbol. The sequence phase works on
+ids, so this module expands id sequences back to item events (via the
+litemset catalog) before testing.
+
+Note a subtlety the paper's prose glosses over: containment can hold
+between sequences of *equal* length (``<(a)(c)> ⊆ <(ab)(c)>``, both
+2-sequences). The maximal filter therefore tests proper containment
+against all other large sequences, not only longer ones; the backward
+phases of AprioriSome/DynamicSome use the same predicate, which prunes
+at least as much as the paper's "contained in a longer large sequence".
+
+Two implementations are provided: an inverted-index one (used everywhere)
+and a naive quadratic reference (used by tests and the ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.sequence import IdSequence, Sequence, sequence_contains
+from repro.itemsets.litemsets import LitemsetCatalog
+
+#: A sequence expanded to bare events for containment checks.
+EventsTuple = tuple[frozenset[int], ...]
+
+
+def events_of_sequence(sequence: Sequence) -> EventsTuple:
+    return tuple(frozenset(event) for event in sequence.events)
+
+
+def sequence_of_events(events: EventsTuple) -> Sequence:
+    return Sequence(tuple(sorted(event)) for event in events)
+
+
+class SequenceExpander:
+    """Cached id-sequence → events expansion through a litemset catalog."""
+
+    def __init__(self, catalog: LitemsetCatalog):
+        self._catalog = catalog
+        self._cache: dict[IdSequence, EventsTuple] = {}
+
+    def expand(self, id_sequence: IdSequence) -> EventsTuple:
+        events = self._cache.get(id_sequence)
+        if events is None:
+            events = self._catalog.expand_events(id_sequence)
+            self._cache[id_sequence] = events
+        return events
+
+
+class ContainmentIndex:
+    """Inverted index answering "is this pattern contained in any stored
+    sequence?" without scanning every stored sequence.
+
+    A pattern can only be contained in a sequence that mentions every one
+    of the pattern's items, so candidate supersequences are found by
+    intersecting per-item posting lists before running the exact greedy
+    containment test.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[EventsTuple] = []
+        self._postings: dict[int, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, events: EventsTuple) -> None:
+        index = len(self._entries)
+        self._entries.append(events)
+        for event in events:
+            for item in event:
+                self._postings.setdefault(item, set()).add(index)
+
+    def add_all(self, sequences: Iterable[EventsTuple]) -> None:
+        for events in sequences:
+            self.add(events)
+
+    def _candidate_indices(self, pattern: EventsTuple) -> set[int]:
+        items = set().union(*pattern) if pattern else set()
+        postings: list[set[int]] = []
+        for item in items:
+            posting = self._postings.get(item)
+            if posting is None:
+                return set()
+            postings.append(posting)
+        if not postings:
+            return set()
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def contains_proper_super_of(self, pattern: EventsTuple) -> bool:
+        """True iff some stored sequence properly contains ``pattern``."""
+        for index in self._candidate_indices(pattern):
+            entry = self._entries[index]
+            if len(entry) < len(pattern) or entry == pattern:
+                continue
+            if sequence_contains(entry, pattern):
+                return True
+        return False
+
+    def contains_super_of(self, pattern: EventsTuple) -> bool:
+        """True iff some stored sequence contains ``pattern`` (or equals it)."""
+        for index in self._candidate_indices(pattern):
+            entry = self._entries[index]
+            if len(entry) < len(pattern):
+                continue
+            if sequence_contains(entry, pattern):
+                return True
+        return False
+
+
+def maximal_sequences(
+    supported: Mapping[EventsTuple, int]
+) -> dict[EventsTuple, int]:
+    """Keep only sequences not properly contained in another key.
+
+    Input and output map expanded event tuples to support counts.
+    """
+    index = ContainmentIndex()
+    index.add_all(supported)
+    return {
+        events: count
+        for events, count in supported.items()
+        if not index.contains_proper_super_of(events)
+    }
+
+
+def maximal_sequences_naive(
+    supported: Mapping[EventsTuple, int]
+) -> dict[EventsTuple, int]:
+    """Quadratic reference implementation of :func:`maximal_sequences`."""
+    keys = list(supported)
+    result: dict[EventsTuple, int] = {}
+    for pattern in keys:
+        dominated = any(
+            other != pattern
+            and len(other) >= len(pattern)
+            and sequence_contains(other, pattern)
+            for other in keys
+        )
+        if not dominated:
+            result[pattern] = supported[pattern]
+    return result

@@ -1,0 +1,58 @@
+"""Shared types for the sequence phase (phase 4).
+
+All three algorithms — AprioriAll, AprioriSome, DynamicSome — consume a
+:class:`~repro.db.transform.TransformedDatabase` plus an integer support
+threshold, and produce a :class:`SequencePhaseResult`: the large sequences
+of every length, over the litemset-id alphabet, with exact support counts
+and instrumentation. The maximal phase then runs once, identically, over
+whichever algorithm produced the result — which is what makes the
+three-way equivalence property tests possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.counting import CountingStrategy
+from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
+from repro.core.sequence import IdSequence
+from repro.core.stats import AlgorithmStats
+
+
+@dataclass(frozen=True, slots=True)
+class CountingOptions:
+    """Knobs of the support-counting engine, threaded through every pass."""
+
+    strategy: CountingStrategy = "hashtree"
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY
+    branch_factor: int = DEFAULT_BRANCH_FACTOR
+
+    def kwargs(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "leaf_capacity": self.leaf_capacity,
+            "branch_factor": self.branch_factor,
+        }
+
+
+@dataclass(slots=True)
+class SequencePhaseResult:
+    """Large sequences by length, with supports, plus run counters."""
+
+    large_by_length: dict[int, dict[IdSequence, int]] = field(default_factory=dict)
+    stats: AlgorithmStats = field(default_factory=lambda: AlgorithmStats("unknown"))
+
+    def all_large(self) -> dict[IdSequence, int]:
+        """Union of large sequences across lengths (id alphabet)."""
+        merged: dict[IdSequence, int] = {}
+        for by_len in self.large_by_length.values():
+            merged.update(by_len)
+        return merged
+
+    @property
+    def max_length(self) -> int:
+        lengths = [k for k, v in self.large_by_length.items() if v]
+        return max(lengths, default=0)
+
+    def num_large(self) -> int:
+        return sum(len(v) for v in self.large_by_length.values())

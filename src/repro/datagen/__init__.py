@@ -1,0 +1,1 @@
+"""Quest-style synthetic data generator extended for sequences (Section 4.1)."""

@@ -1,0 +1,172 @@
+"""Customer-sequence assembly — the sequential Quest generator (§4.1).
+
+Each customer gets a Poisson number of transactions of Poisson target
+sizes, then is filled with potentially-large sequences picked from the
+sequence table by weight:
+
+* each picked sequence is first *corrupted* — itemsets are dropped while a
+  uniform draw stays below the sequence's corruption level, then items are
+  dropped from each surviving itemset the same way (its own corruption
+  level) — modelling that a sought-after pattern rarely occurs complete;
+* the surviving itemsets are planted into distinct transactions in order
+  (a random increasing assignment), so the pattern is genuinely contained
+  in the customer's history;
+* if a sequence does not fit in the customer's remaining item budget it is
+  planted anyway half the time and carried over to the next customer
+  otherwise — the same 50 % rule the VLDB 1994 generator applies to
+  itemsets that overflow a transaction.
+
+The generator is fully deterministic for a given (params, seed) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.sequence import Itemset
+from repro.datagen.params import SyntheticParams
+from repro.datagen.tables import PatternTables, generate_pattern_tables
+from repro.db.database import SequenceDatabase
+from repro.db.records import Transaction
+
+
+class _WeightedPicker:
+    """O(log n) weighted index picking via a cumulative table."""
+
+    def __init__(self, probs: np.ndarray):
+        self._cumulative = np.cumsum(probs)
+        # Guard against floating point drift at the top end.
+        self._cumulative[-1] = 1.0
+
+    def pick(self, rng: np.random.Generator) -> int:
+        return int(np.searchsorted(self._cumulative, rng.random(), side="right"))
+
+
+def _corrupt_sequence(
+    tables: PatternTables, sequence_index: int, rng: np.random.Generator
+) -> list[list[int]]:
+    """A corrupted copy of one potentially-large sequence (may be empty)."""
+    elements = list(tables.sequences[sequence_index])
+    corruption = float(tables.sequence_corruption[sequence_index])
+    while elements and rng.random() < corruption:
+        del elements[int(rng.integers(0, len(elements)))]
+    events: list[list[int]] = []
+    for itemset_index in elements:
+        items = list(tables.itemsets[itemset_index])
+        item_corruption = float(tables.itemset_corruption[itemset_index])
+        while items and rng.random() < item_corruption:
+            del items[int(rng.integers(0, len(items)))]
+        if items:
+            events.append(items)
+    return events
+
+
+def _plant(
+    events: list[list[int]],
+    transactions: list[set[int]],
+    rng: np.random.Generator,
+) -> int:
+    """Plant corrupted events into distinct transactions, in order.
+
+    Returns the number of items added. If the sequence has more events
+    than the customer has transactions, the overflow events are dropped —
+    one more source of partial occurrences.
+    """
+    num_transactions = len(transactions)
+    usable = events[:num_transactions]
+    if not usable:
+        return 0
+    positions = sorted(
+        int(p) for p in rng.choice(num_transactions, size=len(usable), replace=False)
+    )
+    added = 0
+    for position, event in zip(positions, usable):
+        target = transactions[position]
+        for item in event:
+            if item not in target:
+                target.add(item)
+                added += 1
+    return added
+
+
+def _build_customer(
+    params: SyntheticParams,
+    tables: PatternTables,
+    picker: _WeightedPicker,
+    rng: np.random.Generator,
+    carried: int | None,
+) -> tuple[tuple[Itemset, ...], int | None]:
+    """One customer's events, plus a possibly carried-over sequence index."""
+    num_transactions = max(
+        1, int(rng.poisson(params.avg_transactions_per_customer))
+    )
+    sizes = np.maximum(
+        1, rng.poisson(params.avg_items_per_transaction, size=num_transactions)
+    )
+    budget = int(sizes.sum())
+    transactions: list[set[int]] = [set() for _ in range(num_transactions)]
+
+    used = 0
+    placed_any = False
+    attempts = 0
+    max_attempts = 4 * num_transactions + 8
+    while used < budget and attempts < max_attempts:
+        attempts += 1
+        if carried is not None:
+            sequence_index, carried = carried, None
+        else:
+            sequence_index = picker.pick(rng)
+        events = _corrupt_sequence(tables, sequence_index, rng)
+        cost = sum(len(event) for event in events)
+        if cost == 0:
+            continue
+        if used + cost > budget and placed_any:
+            if rng.random() < 0.5:
+                used += _plant(events, transactions, rng)
+                placed_any = True
+            else:
+                carried = sequence_index
+            break
+        used += _plant(events, transactions, rng)
+        placed_any = True
+
+    if not placed_any:
+        # Corruption wiped everything; keep the customer non-degenerate
+        # with a single random item.
+        transactions[0].add(int(rng.integers(1, params.num_items + 1)))
+
+    events_out = tuple(
+        tuple(sorted(t)) for t in transactions if t
+    )
+    return events_out, carried
+
+
+def generate_database(
+    params: SyntheticParams, seed: int = 0
+) -> SequenceDatabase:
+    """Generate a full synthetic customer-sequence database."""
+    rng = np.random.default_rng(seed)
+    tables = generate_pattern_tables(params, rng)
+    picker = _WeightedPicker(tables.sequence_probs)
+    customers: dict[int, tuple[Itemset, ...]] = {}
+    carried: int | None = None
+    for customer_id in range(1, params.num_customers + 1):
+        events, carried = _build_customer(params, tables, picker, rng, carried)
+        customers[customer_id] = events
+    return SequenceDatabase.from_sequences(customers)
+
+
+def generate_transactions(
+    params: SyntheticParams, seed: int = 0
+) -> Iterator[Transaction]:
+    """The same data as raw transaction rows (times 1..n per customer)."""
+    db = generate_database(params, seed)
+    for customer in db:
+        for when, items in enumerate(customer.events, start=1):
+            yield Transaction(
+                customer_id=customer.customer_id,
+                transaction_time=when,
+                items=items,
+            )

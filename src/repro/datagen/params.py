@@ -1,0 +1,145 @@
+"""Parameters of the synthetic data generator (paper Table 1).
+
+The paper names datasets by four of the knobs — ``C10-T2.5-S4-I1.25`` means
+an average of 10 transactions per customer, 2.5 items per transaction,
+potentially-large sequences averaging 4 itemsets, each itemset averaging
+1.25 items. The remaining knobs were fixed in the paper at |D| = 250 000
+customers, N = 10 000 items, N_S = 5 000 potentially large sequences and
+N_I = 25 000 potentially large itemsets.
+
+This reproduction keeps the item universe and itemset table at the
+published size (N = 10 000, N_I = 25 000) so per-item density — which
+drives the litemset phase — matches the paper, but scales the customer
+count down (default |D| = 2 500) so every experiment runs in seconds.
+Because pattern supports scale with |D| / N_S, the sequence table is
+shrunk to N_S = 1 250 to keep the embedded patterns mineable at the same
+relative minsup band the paper sweeps;
+:meth:`SyntheticParams.paper_scale` restores the published values for
+anyone with the patience.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+_NAME_RE = re.compile(
+    r"^C(?P<C>\d+(?:\.\d+)?)-T(?P<T>\d+(?:\.\d+)?)"
+    r"-S(?P<S>\d+(?:\.\d+)?)-I(?P<I>\d+(?:\.\d+)?)$"
+)
+
+
+def _fmt(value: float) -> str:
+    """Format a knob value the way the paper does: 2.5 but 10, not 10.0."""
+    return f"{value:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticParams:
+    """All knobs of the sequential Quest generator.
+
+    Field ↔ paper-notation correspondence:
+
+    ==========================================  ======
+    ``num_customers``                           |D|
+    ``avg_transactions_per_customer``           |C|
+    ``avg_items_per_transaction``               |T|
+    ``avg_pattern_sequence_length``             |S|
+    ``avg_pattern_itemset_size``                |I|
+    ``num_pattern_sequences``                   N_S
+    ``num_pattern_itemsets``                    N_I
+    ``num_items``                               N
+    ==========================================  ======
+
+    ``correlation_level``, ``corruption_mean`` and ``corruption_sd`` come
+    from the VLDB 1994 generator the paper extends: consecutive
+    potentially-large itemsets/sequences share a fraction of their
+    elements drawn from Exp(correlation_level), and each potentially-large
+    itemset/sequence has a corruption level drawn from
+    N(corruption_mean, corruption_sd²) clipped to [0, 1] that drops
+    elements when it is planted in a customer's history.
+    """
+
+    num_customers: int = 2500
+    avg_transactions_per_customer: float = 10.0
+    avg_items_per_transaction: float = 2.5
+    avg_pattern_sequence_length: float = 4.0
+    avg_pattern_itemset_size: float = 1.25
+    num_pattern_sequences: int = 1250
+    num_pattern_itemsets: int = 25_000
+    num_items: int = 10_000
+    correlation_level: float = 0.25
+    corruption_mean: float = 0.5
+    corruption_sd: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_customers < 0:
+            raise ValueError("num_customers must be >= 0")
+        for name in (
+            "avg_transactions_per_customer",
+            "avg_items_per_transaction",
+            "avg_pattern_sequence_length",
+            "avg_pattern_itemset_size",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.num_items < 1:
+            raise ValueError("num_items must be >= 1")
+        if self.num_pattern_itemsets < 1:
+            raise ValueError("num_pattern_itemsets must be >= 1")
+        if self.num_pattern_sequences < 1:
+            raise ValueError("num_pattern_sequences must be >= 1")
+        if self.avg_pattern_itemset_size > self.num_items:
+            raise ValueError("avg_pattern_itemset_size cannot exceed num_items")
+        if not 0.0 <= self.correlation_level <= 1.0:
+            raise ValueError("correlation_level must be in [0, 1]")
+        if not 0.0 <= self.corruption_mean <= 1.0:
+            raise ValueError("corruption_mean must be in [0, 1]")
+        if self.corruption_sd < 0.0:
+            raise ValueError("corruption_sd must be >= 0")
+
+    @property
+    def name(self) -> str:
+        """The paper-style dataset name, e.g. ``C10-T2.5-S4-I1.25``."""
+        return (
+            f"C{_fmt(self.avg_transactions_per_customer)}"
+            f"-T{_fmt(self.avg_items_per_transaction)}"
+            f"-S{_fmt(self.avg_pattern_sequence_length)}"
+            f"-I{_fmt(self.avg_pattern_itemset_size)}"
+        )
+
+    @classmethod
+    def from_name(cls, name: str, **overrides) -> "SyntheticParams":
+        """Parse a paper-style dataset name; other knobs via overrides."""
+        match = _NAME_RE.match(name.strip())
+        if match is None:
+            raise ValueError(
+                f"dataset name {name!r} does not match C<n>-T<n>-S<n>-I<n>"
+            )
+        return cls(
+            avg_transactions_per_customer=float(match.group("C")),
+            avg_items_per_transaction=float(match.group("T")),
+            avg_pattern_sequence_length=float(match.group("S")),
+            avg_pattern_itemset_size=float(match.group("I")),
+            **overrides,
+        )
+
+    def paper_scale(self) -> "SyntheticParams":
+        """The published full-scale fixed knobs (|D|=250k, N=10k, ...)."""
+        return replace(
+            self,
+            num_customers=250_000,
+            num_items=10_000,
+            num_pattern_sequences=5_000,
+            num_pattern_itemsets=25_000,
+        )
+
+    def scaled(self, factor: float) -> "SyntheticParams":
+        """Scale the customer count by ``factor`` (for scale-up figures)."""
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        return replace(self, num_customers=max(1, round(self.num_customers * factor)))
+
+    def with_(self, **changes) -> "SyntheticParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,150 @@
+"""Potentially-large itemset and sequence tables (VLDB 1994 §, extended).
+
+The Quest generator first builds two tables of "potentially large"
+patterns that will be planted into customer histories:
+
+* an **itemset table** of N_I itemsets whose sizes are Poisson with mean
+  |I|, consecutive entries sharing a correlated fraction of items;
+* a **sequence table** of N_S sequences of those itemsets whose lengths
+  are Poisson with mean |S|, consecutive entries sharing a correlated
+  fraction of elements.
+
+Every table entry carries a pick probability (Exp(1) weights, normalized)
+and a corruption level (clipped normal) that controls how completely the
+pattern survives being planted. The sequential extension mirrors the
+itemset machinery one level up, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sequence import Itemset
+from repro.datagen.params import SyntheticParams
+
+
+@dataclass(frozen=True, slots=True)
+class PatternTables:
+    """The two generated tables, with weights and corruption levels."""
+
+    itemsets: tuple[Itemset, ...]
+    itemset_probs: np.ndarray
+    itemset_corruption: np.ndarray
+    sequences: tuple[tuple[int, ...], ...]  # indices into `itemsets`
+    sequence_probs: np.ndarray
+    sequence_corruption: np.ndarray
+
+    def sequence_events(self, sequence_index: int) -> tuple[Itemset, ...]:
+        """The item-level events of one potentially-large sequence."""
+        return tuple(
+            self.itemsets[itemset_index]
+            for itemset_index in self.sequences[sequence_index]
+        )
+
+
+def _poisson_size(rng: np.random.Generator, mean: float) -> int:
+    """Poisson draw clipped to >= 1 (empty patterns are meaningless)."""
+    return max(1, int(rng.poisson(mean)))
+
+
+def _correlated_fraction(rng: np.random.Generator, level: float) -> float:
+    """Fraction of elements copied from the previous table entry."""
+    if level <= 0.0:
+        return 0.0
+    return min(1.0, float(rng.exponential(level)))
+
+
+def _corruption_levels(
+    rng: np.random.Generator, count: int, mean: float, sd: float
+) -> np.ndarray:
+    return np.clip(rng.normal(mean, sd, size=count), 0.0, 1.0)
+
+
+def _normalized_weights(rng: np.random.Generator, count: int) -> np.ndarray:
+    weights = rng.exponential(1.0, size=count)
+    total = weights.sum()
+    if total <= 0:  # pathological but possible with count == 0 guards upstream
+        return np.full(count, 1.0 / count)
+    return weights / total
+
+
+def generate_itemset_table(
+    params: SyntheticParams, rng: np.random.Generator
+) -> tuple[tuple[Itemset, ...], np.ndarray, np.ndarray]:
+    """N_I potentially-large itemsets + pick probabilities + corruption."""
+    itemsets: list[Itemset] = []
+    previous: tuple[int, ...] = ()
+    for _ in range(params.num_pattern_itemsets):
+        size = min(
+            _poisson_size(rng, params.avg_pattern_itemset_size), params.num_items
+        )
+        chosen: set[int] = set()
+        if previous:
+            fraction = _correlated_fraction(rng, params.correlation_level)
+            num_copied = min(len(previous), size, round(fraction * size))
+            if num_copied:
+                chosen.update(
+                    rng.choice(previous, size=num_copied, replace=False).tolist()
+                )
+        while len(chosen) < size:
+            needed = size - len(chosen)
+            fresh = rng.integers(1, params.num_items + 1, size=needed)
+            chosen.update(int(i) for i in fresh)
+        itemset = tuple(sorted(chosen))
+        itemsets.append(itemset)
+        previous = itemset
+    probs = _normalized_weights(rng, len(itemsets))
+    corruption = _corruption_levels(
+        rng, len(itemsets), params.corruption_mean, params.corruption_sd
+    )
+    return tuple(itemsets), probs, corruption
+
+
+def generate_sequence_table(
+    params: SyntheticParams,
+    rng: np.random.Generator,
+    num_itemsets: int,
+    itemset_probs: np.ndarray,
+) -> tuple[tuple[tuple[int, ...], ...], np.ndarray, np.ndarray]:
+    """N_S potentially-large sequences of itemset indices + weights."""
+    sequences: list[tuple[int, ...]] = []
+    previous: tuple[int, ...] = ()
+    for _ in range(params.num_pattern_sequences):
+        length = _poisson_size(rng, params.avg_pattern_sequence_length)
+        elements: list[int] = []
+        if previous:
+            fraction = _correlated_fraction(rng, params.correlation_level)
+            num_copied = min(len(previous), length, round(fraction * length))
+            if num_copied:
+                start = int(rng.integers(0, len(previous) - num_copied + 1))
+                elements.extend(previous[start : start + num_copied])
+        while len(elements) < length:
+            elements.append(int(rng.choice(num_itemsets, p=itemset_probs)))
+        sequence = tuple(elements)
+        sequences.append(sequence)
+        previous = sequence
+    probs = _normalized_weights(rng, len(sequences))
+    corruption = _corruption_levels(
+        rng, len(sequences), params.corruption_mean, params.corruption_sd
+    )
+    return tuple(sequences), probs, corruption
+
+
+def generate_pattern_tables(
+    params: SyntheticParams, rng: np.random.Generator
+) -> PatternTables:
+    """Build both tables from one RNG stream (fully seed-deterministic)."""
+    itemsets, itemset_probs, itemset_corruption = generate_itemset_table(params, rng)
+    sequences, sequence_probs, sequence_corruption = generate_sequence_table(
+        params, rng, len(itemsets), itemset_probs
+    )
+    return PatternTables(
+        itemsets=itemsets,
+        itemset_probs=itemset_probs,
+        itemset_corruption=itemset_corruption,
+        sequences=sequences,
+        sequence_probs=sequence_probs,
+        sequence_corruption=sequence_corruption,
+    )

@@ -1,0 +1,1 @@
+"""Transaction database substrate: records, sort phase, transformation."""

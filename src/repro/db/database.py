@@ -1,0 +1,240 @@
+"""The customer-sequence database and the sort phase (phase 1).
+
+:class:`SequenceDatabase` is the substrate every later phase works on: the
+result of sorting the raw transaction table by ``(customer_id,
+transaction_time)`` and grouping it into one ordered event list per
+customer. It also owns the support arithmetic — support in this paper is a
+fraction of *customers*, and the integer threshold derived from a
+fractional ``minsup`` is used identically by every algorithm, the oracle,
+and the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence as PySequence
+
+from repro.core.sequence import (
+    Itemset,
+    Sequence,
+    make_itemset,
+    sequence_contains,
+)
+from repro.db.records import RecordError, Transaction, merge_transactions
+
+
+@dataclass(frozen=True, slots=True)
+class CustomerSequence:
+    """One customer's ordered transaction history (times already applied)."""
+
+    customer_id: int
+    events: tuple[Itemset, ...]
+
+    def as_sequence(self) -> Sequence:
+        """View this history as a pattern-space :class:`Sequence`."""
+        return Sequence(self.events)
+
+    def contains(self, pattern: Sequence) -> bool:
+        """Itemset-aware containment of ``pattern`` in this history."""
+        return sequence_contains(self.events, pattern.events)
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_items(self) -> int:
+        return sum(len(event) for event in self.events)
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseStats:
+    """Summary statistics, mirroring the columns of the paper's Table 2."""
+
+    num_customers: int
+    num_transactions: int
+    num_items_total: int
+    num_distinct_items: int
+    avg_transactions_per_customer: float
+    avg_items_per_transaction: float
+    approx_size_mb: float
+
+    def as_row(self) -> dict[str, float | int]:
+        return {
+            "customers": self.num_customers,
+            "transactions": self.num_transactions,
+            "avg_trans_per_cust": round(self.avg_transactions_per_customer, 2),
+            "avg_items_per_trans": round(self.avg_items_per_transaction, 2),
+            "distinct_items": self.num_distinct_items,
+            "size_mb": round(self.approx_size_mb, 2),
+        }
+
+
+def support_threshold(minsup: float, num_customers: int) -> int:
+    """Integer customer count a sequence must reach for support ``minsup``.
+
+    ``minsup`` is a fraction in (0, 1]. The threshold is the smallest
+    integer count whose fraction of customers is ≥ ``minsup``; a tiny
+    epsilon guards against float artifacts when ``minsup * num_customers``
+    is integral (e.g. 0.25 × 8 must give 2, not 3).
+    """
+    if not 0.0 < minsup <= 1.0:
+        raise ValueError(f"minsup must be in (0, 1], got {minsup}")
+    if num_customers < 0:
+        raise ValueError("num_customers must be non-negative")
+    return max(1, math.ceil(minsup * num_customers - 1e-9))
+
+
+class SequenceDatabase:
+    """A database of customer sequences (output of the sort phase)."""
+
+    def __init__(self, customers: Iterable[CustomerSequence]):
+        ordered = sorted(customers, key=lambda c: c.customer_id)
+        ids = [c.customer_id for c in ordered]
+        if len(set(ids)) != len(ids):
+            raise RecordError("duplicate customer_id in database")
+        self._customers: tuple[CustomerSequence, ...] = tuple(ordered)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Transaction], *, merge_same_time: bool = True
+    ) -> "SequenceDatabase":
+        """The sort phase: order rows by (customer, time), group, merge.
+
+        ``merge_same_time=False`` raises on duplicate timestamps instead of
+        merging, for callers that want strict paper semantics.
+        """
+        rows = sorted(transactions)
+        customers: list[CustomerSequence] = []
+        current_id: int | None = None
+        pending: list[Transaction] = []
+
+        def flush() -> None:
+            if current_id is None:
+                return
+            customers.append(
+                CustomerSequence(
+                    customer_id=current_id,
+                    events=tuple(t.items for t in pending),
+                )
+            )
+
+        for row in rows:
+            if row.customer_id != current_id:
+                flush()
+                current_id = row.customer_id
+                pending = [row]
+                continue
+            if pending and row.transaction_time == pending[-1].transaction_time:
+                if not merge_same_time:
+                    raise RecordError(
+                        f"customer {row.customer_id} has two transactions at "
+                        f"time {row.transaction_time}"
+                    )
+                pending[-1] = merge_transactions(pending[-1], row)
+            else:
+                pending.append(row)
+        flush()
+        return cls(customers)
+
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: Iterable[PySequence[Iterable[int]]]
+        | Mapping[int, PySequence[Iterable[int]]],
+    ) -> "SequenceDatabase":
+        """Build directly from event lists, assigning customer ids 1..n.
+
+        Accepts either an iterable of event lists (ids auto-assigned) or a
+        mapping of customer id → event list. Convenient for tests, examples
+        and the synthetic generator.
+        """
+        if isinstance(sequences, Mapping):
+            items = sequences.items()
+        else:
+            items = enumerate(sequences, start=1)
+        customers = [
+            CustomerSequence(
+                customer_id=cid,
+                events=tuple(make_itemset(event) for event in events),
+            )
+            for cid, events in items
+        ]
+        return cls(customers)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def customers(self) -> tuple[CustomerSequence, ...]:
+        return self._customers
+
+    @property
+    def num_customers(self) -> int:
+        return len(self._customers)
+
+    def __len__(self) -> int:
+        return len(self._customers)
+
+    def __iter__(self) -> Iterator[CustomerSequence]:
+        return iter(self._customers)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SequenceDatabase):
+            return NotImplemented
+        return self._customers == other._customers
+
+    def threshold(self, minsup: float) -> int:
+        """Customer-count threshold for fractional ``minsup`` over this DB."""
+        return support_threshold(minsup, self.num_customers)
+
+    def item_vocabulary(self) -> frozenset[int]:
+        """All distinct items appearing anywhere in the database."""
+        return frozenset(
+            item
+            for customer in self._customers
+            for event in customer.events
+            for item in event
+        )
+
+    def support_count(self, pattern: Sequence) -> int:
+        """Direct (un-transformed) support count of ``pattern``.
+
+        One database scan with the itemset-aware containment test; used for
+        verification and for reporting exact supports of mined patterns.
+        """
+        return sum(1 for c in self._customers if c.contains(pattern))
+
+    def support(self, pattern: Sequence) -> float:
+        """Support of ``pattern`` as a fraction of customers."""
+        if not self._customers:
+            return 0.0
+        return self.support_count(pattern) / self.num_customers
+
+    def stats(self) -> DatabaseStats:
+        """Summary statistics in the shape of the paper's Table 2."""
+        num_transactions = sum(c.num_transactions for c in self._customers)
+        num_items_total = sum(c.num_items for c in self._customers)
+        num_customers = len(self._customers)
+        # Paper-style size estimate: 4 bytes per item id plus 8 bytes of
+        # framing per transaction (customer id + time).
+        approx_bytes = num_items_total * 4 + num_transactions * 8
+        return DatabaseStats(
+            num_customers=num_customers,
+            num_transactions=num_transactions,
+            num_items_total=num_items_total,
+            num_distinct_items=len(self.item_vocabulary()),
+            avg_transactions_per_customer=(
+                num_transactions / num_customers if num_customers else 0.0
+            ),
+            avg_items_per_transaction=(
+                num_items_total / num_transactions if num_transactions else 0.0
+            ),
+            approx_size_mb=approx_bytes / (1024 * 1024),
+        )

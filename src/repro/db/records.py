@@ -1,0 +1,66 @@
+"""Raw transaction records — the input format of the mining pipeline.
+
+The paper's input is a relational table with columns ``customer-id``,
+``transaction-time`` and ``the items purchased in the transaction``.
+:class:`Transaction` models one such row. The *sort phase* (phase 1 of the
+five-phase method) turns an unordered bag of these rows into customer
+sequences; that lives in :mod:`repro.db.database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sequence import Itemset, make_itemset
+
+
+class RecordError(ValueError):
+    """Raised for malformed transaction records."""
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Transaction:
+    """One row of the customer-transaction table.
+
+    Ordering is ``(customer_id, transaction_time)`` — exactly the sort key
+    of the paper's sort phase — so a list of transactions can be sorted
+    directly.
+    """
+
+    customer_id: int
+    transaction_time: int
+    items: Itemset = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.customer_id, int) or isinstance(self.customer_id, bool):
+            raise RecordError(f"customer_id must be an int, got {self.customer_id!r}")
+        if not isinstance(self.transaction_time, int) or isinstance(
+            self.transaction_time, bool
+        ):
+            raise RecordError(
+                f"transaction_time must be an int, got {self.transaction_time!r}"
+            )
+        try:
+            canonical = make_itemset(self.items)
+        except ValueError as exc:
+            raise RecordError(str(exc)) from exc
+        object.__setattr__(self, "items", canonical)
+
+
+def merge_transactions(first: Transaction, second: Transaction) -> Transaction:
+    """Merge two same-customer, same-time transactions by item union.
+
+    The paper assumes no customer has two transactions with the same
+    transaction-time; real data violates that, so the sort phase merges
+    them (a customer buying in two stores at the same minute is one event).
+    """
+    if (first.customer_id, first.transaction_time) != (
+        second.customer_id,
+        second.transaction_time,
+    ):
+        raise RecordError("can only merge transactions with equal (customer, time)")
+    return Transaction(
+        customer_id=first.customer_id,
+        transaction_time=first.transaction_time,
+        items=make_itemset(first.items + second.items),
+    )

@@ -1,0 +1,1 @@
+"""The experiment harness: dataset grid and per-figure series builders."""

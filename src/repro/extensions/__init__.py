@@ -1,0 +1,1 @@
+"""Extensions beyond the 1995 paper (its stated future work)."""

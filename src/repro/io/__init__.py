@@ -1,0 +1,1 @@
+"""Readers and writers: CSV transaction tables, SPMF format, pattern files."""

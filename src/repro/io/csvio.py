@@ -1,0 +1,105 @@
+"""CSV transaction tables — the paper's raw input format.
+
+Column layout (header required): ``customer_id,transaction_time,items``
+with items space-separated inside the third field::
+
+    customer_id,transaction_time,items
+    1,1,30
+    1,2,90
+    2,1,10 20
+
+This is the natural export of a point-of-sale table and is what
+``seqmine mine --input`` consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.db.database import SequenceDatabase
+from repro.db.records import RecordError, Transaction
+
+HEADER = ("customer_id", "transaction_time", "items")
+
+
+class CsvFormatError(ValueError):
+    """Raised for malformed CSV transaction input."""
+
+
+def read_transactions_csv(source: str | Path | TextIO) -> list[Transaction]:
+    """Read raw transactions (unsorted is fine — the sort phase sorts)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            return read_transactions_csv(handle)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise CsvFormatError("empty CSV: missing header") from exc
+    if tuple(h.strip() for h in header) != HEADER:
+        raise CsvFormatError(
+            f"expected header {','.join(HEADER)!r}, got {','.join(header)!r}"
+        )
+    transactions: list[Transaction] = []
+    for row_number, row in enumerate(reader, start=2):
+        if not row or all(not field.strip() for field in row):
+            continue
+        if len(row) != 3:
+            raise CsvFormatError(f"row {row_number}: expected 3 fields, got {len(row)}")
+        try:
+            customer_id = int(row[0])
+            transaction_time = int(row[1])
+            items = tuple(int(token) for token in row[2].split())
+        except ValueError as exc:
+            raise CsvFormatError(f"row {row_number}: {exc}") from exc
+        try:
+            transactions.append(
+                Transaction(
+                    customer_id=customer_id,
+                    transaction_time=transaction_time,
+                    items=items,
+                )
+            )
+        except RecordError as exc:
+            raise CsvFormatError(f"row {row_number}: {exc}") from exc
+    return transactions
+
+
+def write_transactions_csv(
+    transactions: Iterable[Transaction], target: str | Path | TextIO
+) -> int:
+    """Write transactions; returns data rows written."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8", newline="") as handle:
+            return write_transactions_csv(transactions, handle)
+    writer = csv.writer(target)
+    writer.writerow(HEADER)
+    written = 0
+    for transaction in transactions:
+        writer.writerow(
+            [
+                transaction.customer_id,
+                transaction.transaction_time,
+                " ".join(str(i) for i in transaction.items),
+            ]
+        )
+        written += 1
+    return written
+
+
+def database_to_transactions(db: SequenceDatabase) -> Iterator[Transaction]:
+    """Flatten a database back to rows, with times 1..n per customer."""
+    for customer in db:
+        for when, items in enumerate(customer.events, start=1):
+            yield Transaction(
+                customer_id=customer.customer_id,
+                transaction_time=when,
+                items=items,
+            )
+
+
+def read_database_csv(source: str | Path | TextIO) -> SequenceDatabase:
+    """Read a CSV transaction table straight into a sorted database."""
+    return SequenceDatabase.from_transactions(read_transactions_csv(source))

@@ -1,0 +1,113 @@
+"""Serialization of mined patterns.
+
+Two formats:
+
+* **text** — one pattern per line in the paper's notation plus the SPMF
+  support convention: ``<(30)(40 70)> #SUP: 2 #FREQ: 0.400000``. Human
+  readable, diff-able, and what ``seqmine mine --output`` writes.
+* **JSON** — a list of ``{"events": [[...]], "count": n, "support": f}``
+  objects, for programmatic consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.core.miner import Pattern
+from repro.core.sequence import Sequence, format_sequence, parse_sequence
+
+
+class PatternFormatError(ValueError):
+    """Raised for malformed pattern files."""
+
+
+def format_pattern_line(pattern: Pattern) -> str:
+    return (
+        f"{format_sequence(pattern.sequence)} "
+        f"#SUP: {pattern.count} #FREQ: {pattern.support:.6f}"
+    )
+
+
+def parse_pattern_line(line: str) -> Pattern:
+    head, sep, rest = line.partition("#SUP:")
+    if not sep:
+        raise PatternFormatError(f"missing '#SUP:' in {line!r}")
+    sequence = parse_sequence(head.strip())
+    count_part, _, freq_part = rest.partition("#FREQ:")
+    try:
+        count = int(count_part.strip())
+    except ValueError as exc:
+        raise PatternFormatError(f"bad support count in {line!r}") from exc
+    support = 0.0
+    if freq_part.strip():
+        try:
+            support = float(freq_part.strip())
+        except ValueError as exc:
+            raise PatternFormatError(f"bad frequency in {line!r}") from exc
+    return Pattern(sequence=sequence, count=count, support=support)
+
+
+def write_patterns(
+    patterns: Iterable[Pattern], target: str | Path | TextIO
+) -> int:
+    """Write patterns as text; returns lines written."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_patterns(patterns, handle)
+    written = 0
+    for pattern in patterns:
+        target.write(format_pattern_line(pattern) + "\n")
+        written += 1
+    return written
+
+
+def read_patterns(source: str | Path | TextIO) -> list[Pattern]:
+    """Read a text pattern file (blank/comment lines skipped)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_patterns(handle)
+    patterns = []
+    for line in source:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        patterns.append(parse_pattern_line(stripped))
+    return patterns
+
+
+def patterns_to_json(patterns: Iterable[Pattern]) -> str:
+    return json.dumps(
+        [
+            {
+                "events": [list(event) for event in pattern.sequence.events],
+                "count": pattern.count,
+                "support": pattern.support,
+            }
+            for pattern in patterns
+        ],
+        indent=2,
+    )
+
+
+def patterns_from_json(text: str) -> list[Pattern]:
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PatternFormatError(f"invalid JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise PatternFormatError("expected a JSON list of patterns")
+    patterns = []
+    for entry in raw:
+        try:
+            patterns.append(
+                Pattern(
+                    sequence=Sequence(entry["events"]),
+                    count=int(entry["count"]),
+                    support=float(entry["support"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PatternFormatError(f"bad pattern entry {entry!r}") from exc
+    return patterns

@@ -1,0 +1,114 @@
+"""SPMF sequence-database format.
+
+SPMF (the de-facto interchange format for sequential pattern mining tools)
+encodes one customer sequence per line: itemsets are runs of positive
+integers, ``-1`` ends an itemset, ``-2`` ends the sequence::
+
+    1 2 -1 3 -1 -2
+    3 -1 -2
+
+Reading assigns customer ids 1..n in line order; writing discards ids
+(SPMF has no customer column). Round-tripping therefore preserves events
+but renumbers customers — exactly what the format can express.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.core.sequence import Itemset
+from repro.db.database import CustomerSequence, SequenceDatabase
+
+
+class SpmfFormatError(ValueError):
+    """Raised for malformed SPMF input."""
+
+
+def _parse_line(line: str, line_number: int) -> tuple[Itemset, ...] | None:
+    tokens = line.split()
+    if not tokens:
+        return None
+    events: list[Itemset] = []
+    current: list[int] = []
+    terminated = False
+    for token in tokens:
+        if terminated:
+            raise SpmfFormatError(f"line {line_number}: tokens after -2")
+        try:
+            value = int(token)
+        except ValueError as exc:
+            raise SpmfFormatError(
+                f"line {line_number}: non-integer token {token!r}"
+            ) from exc
+        if value == -1:
+            if not current:
+                raise SpmfFormatError(f"line {line_number}: empty itemset before -1")
+            events.append(tuple(sorted(set(current))))
+            current = []
+        elif value == -2:
+            terminated = True
+        elif value < 0:
+            raise SpmfFormatError(f"line {line_number}: invalid negative {value}")
+        else:
+            current.append(value)
+    if not terminated:
+        raise SpmfFormatError(f"line {line_number}: missing -2 terminator")
+    if current:
+        raise SpmfFormatError(f"line {line_number}: itemset not closed by -1")
+    if not events:
+        return None
+    return tuple(events)
+
+
+def read_spmf(source: str | Path | TextIO) -> SequenceDatabase:
+    """Read an SPMF sequence file into a :class:`SequenceDatabase`.
+
+    Blank lines, comment lines (starting with ``#``, ``%`` or ``@`` as in
+    SPMF's own datasets) and empty sequences are skipped.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_spmf(handle)
+    customers: list[CustomerSequence] = []
+    next_id = 1
+    for line_number, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped[0] in "#%@":
+            continue
+        events = _parse_line(stripped, line_number)
+        if events is None:
+            continue
+        customers.append(CustomerSequence(customer_id=next_id, events=events))
+        next_id += 1
+    return SequenceDatabase(customers)
+
+
+def write_spmf(
+    db: SequenceDatabase | Iterable[CustomerSequence],
+    target: str | Path | TextIO,
+) -> int:
+    """Write customer sequences in SPMF format; returns lines written."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_spmf(db, handle)
+    written = 0
+    for customer in db:
+        target.write(format_spmf_line(customer.events) + "\n")
+        written += 1
+    return written
+
+
+def format_spmf_line(events: Iterable[Itemset]) -> str:
+    parts: list[str] = []
+    for event in events:
+        parts.extend(str(item) for item in event)
+        parts.append("-1")
+    parts.append("-2")
+    return " ".join(parts)
+
+
+def iter_spmf_lines(db: SequenceDatabase) -> Iterator[str]:
+    """Lazy SPMF rendering, handy for streaming large databases."""
+    for customer in db:
+        yield format_spmf_line(customer.events)

@@ -1,0 +1,1 @@
+"""Litemset phase substrate: itemset hash tree, customer-support Apriori."""

@@ -1,0 +1,175 @@
+"""The litemset phase (phase 2): customer-support Apriori.
+
+Finds all *large itemsets* — itemsets contained in some transaction of at
+least ``minsup`` of the *customers*. This differs from the classic
+market-basket Apriori in the support denominator only: a customer who buys
+``(bread, butter)`` three times still contributes 1 to its support, because
+sequence support is per customer (the paper, Section 3, notes this is the
+one modification needed to the VLDB 1994 algorithm).
+
+The output feeds the transformation phase: every large itemset becomes a
+single symbol (litemset id) of the sequence-phase alphabet, and — because a
+1-sequence ``<(X)>`` is contained in a customer iff the itemset ``X`` is —
+the litemset supports double as the supports of all large 1-sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.sequence import Itemset
+from repro.db.database import SequenceDatabase
+from repro.itemsets.hashtree import (
+    DEFAULT_BRANCH_FACTOR,
+    DEFAULT_LEAF_CAPACITY,
+    ItemsetHashTree,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LitemsetPassStats:
+    """Per-level counters of the litemset phase."""
+
+    length: int
+    num_candidates: int
+    num_large: int
+
+
+@dataclass(frozen=True, slots=True)
+class LitemsetResult:
+    """All large itemsets with their customer-support counts."""
+
+    supports: Mapping[Itemset, int]
+    passes: tuple[LitemsetPassStats, ...]
+
+    def __len__(self) -> int:
+        return len(self.supports)
+
+    def itemsets(self) -> list[Itemset]:
+        """Litemsets in deterministic (length, lexicographic) order."""
+        return sorted(self.supports, key=lambda s: (len(s), s))
+
+
+def generate_candidate_itemsets(
+    large_prev: Iterable[Itemset],
+) -> list[Itemset]:
+    """Apriori candidate generation for itemsets: join + prune.
+
+    Joins (k−1)-itemsets sharing their first k−2 items, then prunes
+    candidates with any (k−1)-subset outside ``large_prev``. For k = 2 the
+    join degenerates to all unordered pairs, as in the original.
+    """
+    prev = sorted(set(large_prev))
+    if not prev:
+        return []
+    k_minus_1 = len(prev[0])
+    if any(len(s) != k_minus_1 for s in prev):
+        raise ValueError("all itemsets must have equal length for the join")
+    prev_set = set(prev)
+    candidates: list[Itemset] = []
+    by_prefix: dict[Itemset, list[Itemset]] = {}
+    for itemset in prev:
+        by_prefix.setdefault(itemset[:-1], []).append(itemset)
+    for siblings in by_prefix.values():
+        for i, first in enumerate(siblings):
+            for second in siblings[i + 1 :]:
+                # siblings are sorted, so first[-1] < second[-1]
+                candidate = first + (second[-1],)
+                if _all_subsets_large(candidate, prev_set):
+                    candidates.append(candidate)
+    candidates.sort()
+    return candidates
+
+
+def _all_subsets_large(candidate: Itemset, prev_set: set[Itemset]) -> bool:
+    for drop in range(len(candidate)):
+        subset = candidate[:drop] + candidate[drop + 1 :]
+        if subset not in prev_set:
+            return False
+    return True
+
+
+def count_itemset_supports(
+    db: SequenceDatabase,
+    candidates: Iterable[Itemset],
+    *,
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    branch_factor: int = DEFAULT_BRANCH_FACTOR,
+) -> Counter:
+    """Customer-support counts of ``candidates`` in one database pass."""
+    tree = ItemsetHashTree(
+        candidates, leaf_capacity=leaf_capacity, branch_factor=branch_factor
+    )
+    counts: Counter = Counter()
+    if len(tree) == 0:
+        return counts
+    for customer in db:
+        contained: set[Itemset] = set()
+        for event in customer.events:
+            contained |= tree.subsets_of(event)
+        for itemset in contained:
+            counts[itemset] += 1
+    return counts
+
+
+def find_litemsets(
+    db: SequenceDatabase,
+    minsup: float,
+    *,
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    branch_factor: int = DEFAULT_BRANCH_FACTOR,
+    max_length: int | None = None,
+) -> LitemsetResult:
+    """Run the litemset phase: all itemsets with customer-support ≥ minsup.
+
+    ``max_length`` optionally caps the itemset size (useful in stress tests
+    on pathological dense data); ``None`` mines to fixpoint as the paper
+    does.
+    """
+    threshold = db.threshold(minsup)
+    supports: dict[Itemset, int] = {}
+    passes: list[LitemsetPassStats] = []
+
+    item_counts: Counter = Counter()
+    for customer in db:
+        seen: set[int] = set()
+        for event in customer.events:
+            seen.update(event)
+        for item in seen:
+            item_counts[item] += 1
+    current_large = sorted(
+        (item,) for item, count in item_counts.items() if count >= threshold
+    )
+    passes.append(
+        LitemsetPassStats(
+            length=1, num_candidates=len(item_counts), num_large=len(current_large)
+        )
+    )
+    for itemset in current_large:
+        supports[itemset] = item_counts[itemset[0]]
+
+    length = 2
+    while current_large and (max_length is None or length <= max_length):
+        candidates = generate_candidate_itemsets(current_large)
+        if not candidates:
+            break
+        counts = count_itemset_supports(
+            db, candidates, leaf_capacity=leaf_capacity, branch_factor=branch_factor
+        )
+        current_large = sorted(
+            c for c in candidates if counts[c] >= threshold
+        )
+        passes.append(
+            LitemsetPassStats(
+                length=length,
+                num_candidates=len(candidates),
+                num_large=len(current_large),
+            )
+        )
+        for itemset in current_large:
+            supports[itemset] = counts[itemset]
+        length += 1
+
+    return LitemsetResult(supports=supports, passes=tuple(passes))

@@ -1,0 +1,100 @@
+"""The litemset catalog: the itemset ↔ integer-id mapping (Section 3.1).
+
+After the litemset phase, the paper maps each large itemset to an integer
+so the sequence phase can "treat large itemsets as single entities" and
+compare events in constant time. :class:`LitemsetCatalog` owns that
+mapping, the litemset supports, and the hash tree used by the
+transformation phase to answer *which litemsets does this transaction
+contain?*
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.sequence import IdSequence, Itemset, Sequence
+from repro.itemsets.apriori import LitemsetResult
+from repro.itemsets.hashtree import (
+    DEFAULT_BRANCH_FACTOR,
+    DEFAULT_LEAF_CAPACITY,
+    ItemsetHashTree,
+)
+
+
+class LitemsetCatalog:
+    """Bidirectional litemset ↔ id mapping plus containment lookup.
+
+    Ids are assigned 1..n in (length, lexicographic) order of the itemsets,
+    making every downstream artifact (candidates, patterns, stats)
+    deterministic for a given database and minsup.
+    """
+
+    def __init__(
+        self,
+        supports: Mapping[Itemset, int],
+        *,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        branch_factor: int = DEFAULT_BRANCH_FACTOR,
+    ):
+        ordered = sorted(supports, key=lambda s: (len(s), s))
+        self._itemsets: tuple[Itemset, ...] = tuple(ordered)
+        self._id_of: dict[Itemset, int] = {
+            itemset: index + 1 for index, itemset in enumerate(ordered)
+        }
+        self._supports: dict[int, int] = {
+            self._id_of[itemset]: supports[itemset] for itemset in ordered
+        }
+        self._tree = ItemsetHashTree(
+            ordered, leaf_capacity=leaf_capacity, branch_factor=branch_factor
+        )
+
+    @classmethod
+    def from_result(cls, result: LitemsetResult, **kwargs) -> "LitemsetCatalog":
+        return cls(result.supports, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self._itemsets)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self._itemsets)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return itemset in self._id_of
+
+    @property
+    def ids(self) -> range:
+        """All litemset ids (1-based, contiguous)."""
+        return range(1, len(self._itemsets) + 1)
+
+    def id_of(self, itemset: Itemset) -> int:
+        """The id of a litemset; KeyError if the itemset is not large."""
+        return self._id_of[itemset]
+
+    def itemset_of(self, litemset_id: int) -> Itemset:
+        """The itemset behind a litemset id."""
+        return self._itemsets[litemset_id - 1]
+
+    def support_of(self, litemset_id: int) -> int:
+        """Customer-support count of a litemset (= of the 1-sequence)."""
+        return self._supports[litemset_id]
+
+    def one_sequence_supports(self) -> dict[IdSequence, int]:
+        """Supports of all large 1-sequences over the id alphabet."""
+        return {(lid,): support for lid, support in self._supports.items()}
+
+    def contained_ids(self, transaction: Iterable[int]) -> frozenset[int]:
+        """Ids of every litemset contained in ``transaction``.
+
+        This is the transformation-phase primitive: one hash-tree lookup
+        per transaction.
+        """
+        found = self._tree.subsets_of(tuple(transaction))
+        return frozenset(self._id_of[itemset] for itemset in found)
+
+    def expand(self, id_sequence: IdSequence) -> Sequence:
+        """Inflate an id-alphabet sequence back to an itemset Sequence."""
+        return Sequence(self.itemset_of(lid) for lid in id_sequence)
+
+    def expand_events(self, id_sequence: IdSequence) -> tuple[frozenset[int], ...]:
+        """Inflate to bare frozenset events (for containment checks)."""
+        return tuple(frozenset(self.itemset_of(lid)) for lid in id_sequence)

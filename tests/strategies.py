@@ -1,0 +1,76 @@
+"""Shared hypothesis strategies for property-based tests.
+
+The databases produced here are deliberately tiny (≤ 7 customers, short
+histories, small alphabets): small enough for the exponential brute-force
+oracle, dense enough that interesting containment structure (shared
+prefixes, same-length strict containment, repeated litemsets) appears
+often.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.sequence import Itemset, Sequence
+from repro.db.database import SequenceDatabase
+
+
+def itemsets(max_item: int = 6, max_size: int = 3) -> st.SearchStrategy[Itemset]:
+    return st.sets(
+        st.integers(min_value=1, max_value=max_item), min_size=1, max_size=max_size
+    ).map(lambda s: tuple(sorted(s)))
+
+
+def event_lists(
+    max_item: int = 6,
+    max_size: int = 3,
+    max_events: int = 4,
+) -> st.SearchStrategy[list[Itemset]]:
+    return st.lists(itemsets(max_item, max_size), min_size=1, max_size=max_events)
+
+
+def sequences(
+    max_item: int = 6, max_size: int = 3, max_events: int = 4
+) -> st.SearchStrategy[Sequence]:
+    return event_lists(max_item, max_size, max_events).map(Sequence)
+
+
+def databases(
+    max_customers: int = 6,
+    max_item: int = 5,
+    max_event_size: int = 3,
+    max_events: int = 4,
+) -> st.SearchStrategy[SequenceDatabase]:
+    return st.lists(
+        event_lists(max_item, max_event_size, max_events),
+        min_size=1,
+        max_size=max_customers,
+    ).map(SequenceDatabase.from_sequences)
+
+
+def id_event_sequences(
+    max_id: int = 8, max_events: int = 6, max_event_size: int = 4
+) -> st.SearchStrategy[tuple[frozenset[int], ...]]:
+    """Transformed customer sequences (events of litemset ids)."""
+    return st.lists(
+        st.frozensets(
+            st.integers(min_value=1, max_value=max_id),
+            min_size=1,
+            max_size=max_event_size,
+        ),
+        min_size=1,
+        max_size=max_events,
+    ).map(tuple)
+
+
+def id_sequences(
+    max_id: int = 8, max_length: int = 4
+) -> st.SearchStrategy[tuple[int, ...]]:
+    """Candidate sequences over the id alphabet."""
+    return st.lists(
+        st.integers(min_value=1, max_value=max_id), min_size=1, max_size=max_length
+    ).map(tuple)
+
+
+def minsups() -> st.SearchStrategy[float]:
+    return st.sampled_from([0.15, 0.25, 0.4, 0.5, 0.75, 1.0])

@@ -1,0 +1,113 @@
+"""Tests for result comparison and report rendering."""
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_results,
+    pattern_length_histogram,
+)
+from repro.analysis.report import format_series_chart, format_table
+from repro.core.miner import Pattern
+from repro.core.sequence import Sequence
+
+
+def pat(text_events, count=1, support=0.5):
+    return Pattern(sequence=Sequence(text_events), count=count, support=support)
+
+
+class TestCompareResults:
+    def test_identical(self):
+        left = [pat([[1], [2]], 3)]
+        right = [pat([[1], [2]], 3)]
+        diff = compare_results(left, right)
+        assert diff.identical
+        assert diff.jaccard == 1.0
+        assert diff.completeness_of_right() == 1.0
+        assert "identical" in diff.describe()
+
+    def test_disjoint(self):
+        diff = compare_results([pat([[1]])], [pat([[2]])])
+        assert not diff.identical
+        assert diff.jaccard == 0.0
+        assert diff.only_left == (Sequence([[1]]),)
+        assert diff.only_right == (Sequence([[2]]),)
+
+    def test_partial_overlap_and_completeness(self):
+        left = [pat([[1]]), pat([[2]]), pat([[3]])]
+        right = [pat([[1]]), pat([[2]])]
+        diff = compare_results(left, right)
+        assert diff.completeness_of_right() == pytest.approx(2 / 3)
+        assert diff.jaccard == pytest.approx(2 / 3)
+
+    def test_support_mismatch_detected(self):
+        diff = compare_results([pat([[1]], count=3)], [pat([[1]], count=4)])
+        assert not diff.identical
+        assert diff.support_mismatches == ((Sequence([[1]]), 3, 4),)
+        assert "support mismatches" in diff.describe()
+
+    def test_empty_both(self):
+        diff = compare_results([], [])
+        assert diff.identical
+        assert diff.jaccard == 1.0
+        assert diff.completeness_of_right() == 1.0
+
+    def test_accepts_mining_result_objects(self):
+        from repro import SequenceDatabase, mine_sequential_patterns
+
+        db = SequenceDatabase.from_sequences([[(1,), (2,)], [(1,), (2,)]])
+        a = mine_sequential_patterns(db, 1.0, algorithm="aprioriall")
+        b = mine_sequential_patterns(db, 1.0, algorithm="dynamicsome")
+        assert compare_results(a, b).identical
+
+
+class TestHistogram:
+    def test_histogram(self):
+        patterns = [pat([[1]]), pat([[2]]), pat([[1], [2]])]
+        assert pattern_length_histogram(patterns) == {1: 2, 2: 1}
+
+    def test_empty(self):
+        assert pattern_length_histogram([]) == {}
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "value"), [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "--" in lines[1]
+        assert lines[2].split() == ["a", "1"]
+
+    def test_title(self):
+        text = format_table(("x",), [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [[1.23456]])
+        assert "1.235" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [[1]])
+
+
+class TestSeriesChart:
+    def test_empty(self):
+        assert "(no data)" in format_series_chart({})
+
+    def test_markers_and_legend(self):
+        chart = format_series_chart(
+            {"alpha": [(1, 1), (2, 2)], "beta": [(1, 2), (2, 1)]},
+            x_label="n",
+            y_label="t",
+        )
+        assert "* alpha" in chart
+        assert "o beta" in chart
+        assert "(n)" in chart
+
+    def test_single_point(self):
+        chart = format_series_chart({"s": [(5, 5)]})
+        assert "*" in chart
+
+    def test_title_present(self):
+        chart = format_series_chart({"s": [(0, 0), (1, 1)]}, title="my chart")
+        assert chart.splitlines()[0] == "my chart"

@@ -1,0 +1,90 @@
+"""Behavioral tests for AprioriAll (pass structure, stats, edge cases)."""
+
+import pytest
+
+from repro.core.aprioriall import apriori_all
+from repro.db.database import SequenceDatabase
+from repro.db.transform import transform_database
+from repro.itemsets.apriori import find_litemsets
+from repro.itemsets.litemsets import LitemsetCatalog
+
+
+def transformed(db, minsup):
+    catalog = LitemsetCatalog.from_result(find_litemsets(db, minsup))
+    return transform_database(db, catalog), db.threshold(minsup)
+
+
+def chain_db(length=5, customers=4):
+    """Every customer buys items 1..length in order, one per transaction."""
+    return SequenceDatabase.from_sequences(
+        [[(i,) for i in range(1, length + 1)] for _ in range(customers)]
+    )
+
+
+class TestPassStructure:
+    def test_counts_every_length_until_empty(self):
+        tdb, threshold = transformed(chain_db(4), 1.0)
+        result = apriori_all(tdb, threshold)
+        assert sorted(result.large_by_length) == [1, 2, 3, 4]
+        # Increasing id-subsequences of (1,2,3,4): C(4,k) large k-seqs.
+        assert [len(result.large_by_length[k]) for k in (1, 2, 3, 4)] == [4, 6, 4, 1]
+
+    def test_pass_stats_lengths_are_sequential(self):
+        tdb, threshold = transformed(chain_db(4), 1.0)
+        stats = apriori_all(tdb, threshold).stats
+        lengths = [p.length for p in stats.passes]
+        assert lengths == list(range(1, lengths[-1] + 1))
+
+    def test_candidate_counts_bound_large_counts(self):
+        tdb, threshold = transformed(chain_db(4), 1.0)
+        stats = apriori_all(tdb, threshold).stats
+        for p in stats.passes:
+            assert p.num_candidates >= p.num_large
+            assert 0.0 <= p.hit_ratio <= 1.0
+
+    def test_length2_candidates_reported_analytically(self):
+        tdb, threshold = transformed(chain_db(3), 1.0)
+        stats = apriori_all(tdb, threshold).stats
+        pass2 = next(p for p in stats.passes if p.length == 2)
+        assert pass2.num_candidates == 9  # |L1|² = 3²
+
+    def test_supports_are_exact_counts(self):
+        db = SequenceDatabase.from_sequences(
+            [[(1,), (2,)], [(1,), (2,)], [(2,), (1,)]]
+        )
+        tdb, threshold = transformed(db, 0.5)
+        result = apriori_all(tdb, threshold)
+        id1 = tdb.catalog.id_of((1,))
+        id2 = tdb.catalog.id_of((2,))
+        assert result.large_by_length[2][(id1, id2)] == 2
+
+    def test_l1_comes_from_catalog(self):
+        tdb, threshold = transformed(chain_db(3), 1.0)
+        result = apriori_all(tdb, threshold)
+        assert result.large_by_length[1] == tdb.catalog.one_sequence_supports()
+
+
+class TestEdgeCases:
+    def test_threshold_validation(self):
+        tdb, _ = transformed(chain_db(3), 1.0)
+        with pytest.raises(ValueError):
+            apriori_all(tdb, 0)
+
+    def test_no_litemsets(self):
+        db = SequenceDatabase.from_sequences([[(1,)], [(2,)]])
+        tdb, threshold = transformed(db, 1.0)
+        result = apriori_all(tdb, threshold)
+        assert result.large_by_length[1] == {}
+        assert result.max_length == 0
+
+    def test_max_length_stops_early(self):
+        tdb, threshold = transformed(chain_db(5), 1.0)
+        result = apriori_all(tdb, threshold, max_length=2)
+        assert sorted(result.large_by_length) == [1, 2]
+
+    def test_all_large_union(self):
+        tdb, threshold = transformed(chain_db(3), 1.0)
+        result = apriori_all(tdb, threshold)
+        union = result.all_large()
+        assert len(union) == result.num_large()
+        assert result.max_length == 3

@@ -1,0 +1,96 @@
+"""Focused tests for the shared backward phase."""
+
+from repro.core.backward import backward_phase
+from repro.core.phase import SequencePhaseResult
+from repro.core.stats import AlgorithmStats
+from repro.db.database import SequenceDatabase
+from repro.db.transform import transform_database
+from repro.itemsets.apriori import find_litemsets
+from repro.itemsets.litemsets import LitemsetCatalog
+
+
+def make_tdb(sequences, minsup=1.0):
+    db = SequenceDatabase.from_sequences(sequences)
+    catalog = LitemsetCatalog.from_result(find_litemsets(db, minsup))
+    return transform_database(db, catalog), db.threshold(minsup)
+
+
+def fresh_result(l1):
+    result = SequencePhaseResult(stats=AlgorithmStats("test"))
+    result.large_by_length[1] = l1
+    return result
+
+
+class TestBackwardPhase:
+    def test_counts_skipped_lengths_descending(self):
+        tdb, threshold = make_tdb([[(1,), (2,), (3,)]] * 2)
+        l1 = tdb.catalog.one_sequence_supports()
+        result = fresh_result(l1)
+        ids = sorted(i for (i,) in l1)
+        a, b, c = ids
+        candidates = {
+            2: [(a, b), (b, c), (a, c)],
+            3: [(a, b, c)],
+        }
+        backward_phase(tdb, threshold, result, candidates, counted_lengths={1})
+        # Length 3 counted first (1 candidate), then every 2-candidate is
+        # contained in it → all pruned.
+        assert result.large_by_length[3] == {(a, b, c): 2}
+        assert 2 not in result.large_by_length
+        assert result.stats.skipped_by_containment == 3
+        phases = [(p.length, p.num_candidates) for p in result.stats.passes]
+        assert phases == [(3, 1), (2, 0)]
+
+    def test_counted_lengths_feed_the_index(self):
+        tdb, threshold = make_tdb([[(1,), (2,), (3,)]] * 2)
+        l1 = tdb.catalog.one_sequence_supports()
+        a, b, c = sorted(i for (i,) in l1)
+        result = fresh_result(l1)
+        # Pretend length 3 was counted in a forward phase.
+        result.large_by_length[3] = {(a, b, c): 2}
+        candidates = {2: [(a, b)], 3: [(a, b, c)]}
+        backward_phase(
+            tdb, threshold, result, candidates, counted_lengths={1, 3}
+        )
+        # (a,b) is contained in the already-known 3-sequence → pruned.
+        assert 2 not in result.large_by_length
+        assert result.stats.skipped_by_containment == 1
+
+    def test_itemset_aware_pruning(self):
+        """Pruning must see through the id alphabet: <(1)(3)> is contained
+        in <(1 2)(3)> even though the litemset ids differ."""
+        tdb, threshold = make_tdb([[(1, 2), (3,)]] * 2)
+        catalog = tdb.catalog
+        l1 = catalog.one_sequence_supports()
+        result = fresh_result(l1)
+        id_single_1 = catalog.id_of((1,))
+        id_pair = catalog.id_of((1, 2))
+        id_3 = catalog.id_of((3,))
+        result.large_by_length[2] = {(id_pair, id_3): 2}
+        candidates = {2: [(id_single_1, id_3), (id_pair, id_3)]}
+        backward_phase(
+            tdb, threshold, result, candidates, counted_lengths={1, 2}
+        )
+        # Length 2 was marked counted, so nothing recounted — but the
+        # same-length containment case is covered by the maximal filter;
+        # here we verify the index-feeding path didn't crash and state is
+        # unchanged.
+        assert result.large_by_length[2] == {(id_pair, id_3): 2}
+
+    def test_empty_candidates_noop(self):
+        tdb, threshold = make_tdb([[(1,)]])
+        result = fresh_result(tdb.catalog.one_sequence_supports())
+        backward_phase(tdb, threshold, result, {}, counted_lengths={1})
+        assert result.stats.passes == []
+
+    def test_unpruned_infrequent_candidates_rejected_by_count(self):
+        tdb, threshold = make_tdb([[(1,), (2,)], [(2,), (1,)]], minsup=1.0)
+        l1 = tdb.catalog.one_sequence_supports()
+        a, b = sorted(i for (i,) in l1)
+        result = fresh_result(l1)
+        candidates = {2: [(a, b), (b, a)]}
+        backward_phase(tdb, threshold, result, candidates, counted_lengths={1})
+        # Each order occurs in only one customer; threshold is 2.
+        assert 2 not in result.large_by_length
+        assert result.stats.passes[0].num_candidates == 2
+        assert result.stats.passes[0].num_large == 0

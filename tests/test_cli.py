@@ -1,0 +1,138 @@
+"""End-to-end tests of the seqmine CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.patterns import read_patterns
+from repro.io.spmf import read_spmf, write_spmf
+from tests.test_database import paper_db
+
+
+@pytest.fixture()
+def paper_spmf(tmp_path):
+    path = tmp_path / "paper.spmf"
+    write_spmf(paper_db(), path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_spmf(self, tmp_path, capsys):
+        out = tmp_path / "data.spmf"
+        code = main([
+            "generate", "--dataset", "C10-T2.5-S4-I1.25",
+            "--customers", "30", "--seed", "5", "--output", str(out),
+        ])
+        assert code == 0
+        assert "30 customers" in capsys.readouterr().out
+        db = read_spmf(out)
+        assert db.num_customers == 30
+
+    def test_generate_csv(self, tmp_path):
+        out = tmp_path / "data.csv"
+        code = main([
+            "generate", "--customers", "10", "--format", "csv",
+            "--output", str(out),
+        ])
+        assert code == 0
+        header = out.read_text().splitlines()[0]
+        assert header == "customer_id,transaction_time,items"
+
+    def test_generate_bad_dataset_name(self, tmp_path):
+        code = main([
+            "generate", "--dataset", "bogus", "--output",
+            str(tmp_path / "x.spmf"),
+        ])
+        assert code == 1
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.spmf", tmp_path / "b.spmf"
+        for out in (a, b):
+            assert main([
+                "generate", "--customers", "15", "--seed", "9",
+                "--output", str(out),
+            ]) == 0
+        assert a.read_text() == b.read_text()
+
+
+class TestMine:
+    def test_mine_stdout(self, paper_spmf, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<(30)(90)>" in out
+        assert "<(30)(40 70)>" in out
+
+    def test_mine_to_file(self, paper_spmf, tmp_path):
+        out = tmp_path / "patterns.txt"
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--algorithm", "apriorisome", "--output", str(out),
+        ])
+        assert code == 0
+        patterns = read_patterns(out)
+        assert [str(p.sequence) for p in patterns] == [
+            "<(30)(40 70)>",
+            "<(30)(90)>",
+        ]
+
+    def test_mine_json(self, paper_spmf, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25", "--json",
+        ])
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert len(parsed) == 2
+
+    def test_mine_csv_input(self, tmp_path):
+        csv_path = tmp_path / "txns.csv"
+        csv_path.write_text(
+            "customer_id,transaction_time,items\n"
+            "1,1,30\n1,2,90\n2,1,30\n2,2,90\n"
+        )
+        code = main([
+            "mine", "--input", str(csv_path), "--format", "csv",
+            "--minsup", "1.0",
+        ])
+        assert code == 0
+
+    def test_mine_missing_file(self, tmp_path):
+        code = main([
+            "mine", "--input", str(tmp_path / "nope.spmf"), "--minsup", "0.5",
+        ])
+        assert code == 1
+
+    def test_mine_bad_minsup(self, paper_spmf):
+        code = main(["mine", "--input", str(paper_spmf), "--minsup", "7"])
+        assert code == 1
+
+
+class TestInfoAndHistogram:
+    def test_info(self, paper_spmf, capsys):
+        assert main(["info", "--input", str(paper_spmf)]) == 0
+        out = capsys.readouterr().out
+        assert "customers: 5" in out
+
+    def test_histogram(self, paper_spmf, capsys):
+        assert main([
+            "histogram", "--input", str(paper_spmf), "--minsup", "0.25",
+        ]) == 0
+        assert "length 2: 2" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6-C10-T2.5-S4-I1.25" in out
+        assert "table1-params" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiment", "bogus"]) == 2
+
+    def test_static_experiment_runs(self, capsys):
+        assert main(["experiment", "table1-params"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,203 @@
+"""Tests for the sequence database and the sort phase."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sequence import Sequence
+from repro.db.database import (
+    CustomerSequence,
+    SequenceDatabase,
+    support_threshold,
+)
+from repro.db.records import RecordError, Transaction
+from tests import strategies as my
+
+
+def paper_db() -> SequenceDatabase:
+    """The running example database of the paper (Section 2)."""
+    return SequenceDatabase.from_sequences(
+        [
+            [(30,), (90,)],
+            [(10, 20), (30,), (40, 60, 70)],
+            [(30, 50, 70)],
+            [(30,), (40, 70), (90,)],
+            [(90,)],
+        ]
+    )
+
+
+class TestSortPhase:
+    def test_orders_by_customer_then_time(self):
+        db = SequenceDatabase.from_transactions(
+            [
+                Transaction(2, 10, (5,)),
+                Transaction(1, 20, (2,)),
+                Transaction(1, 10, (1,)),
+                Transaction(2, 5, (4,)),
+            ]
+        )
+        assert [c.customer_id for c in db] == [1, 2]
+        assert db.customers[0].events == ((1,), (2,))
+        assert db.customers[1].events == ((4,), (5,))
+
+    def test_merges_same_time_transactions(self):
+        db = SequenceDatabase.from_transactions(
+            [
+                Transaction(1, 10, (1,)),
+                Transaction(1, 10, (2,)),
+                Transaction(1, 20, (3,)),
+            ]
+        )
+        assert db.customers[0].events == ((1, 2), (3,))
+
+    def test_strict_mode_rejects_same_time(self):
+        with pytest.raises(RecordError):
+            SequenceDatabase.from_transactions(
+                [Transaction(1, 10, (1,)), Transaction(1, 10, (2,))],
+                merge_same_time=False,
+            )
+
+    def test_empty_database(self):
+        db = SequenceDatabase.from_transactions([])
+        assert db.num_customers == 0
+        assert db.stats().num_transactions == 0
+
+    def test_from_sequences_auto_ids(self):
+        db = SequenceDatabase.from_sequences([[(1,)], [(2,)]])
+        assert [c.customer_id for c in db] == [1, 2]
+
+    def test_from_sequences_mapping(self):
+        db = SequenceDatabase.from_sequences({7: [(1,)], 3: [(2,)]})
+        assert [c.customer_id for c in db] == [3, 7]
+
+    def test_duplicate_customer_ids_rejected(self):
+        with pytest.raises(RecordError):
+            SequenceDatabase(
+                [
+                    CustomerSequence(1, ((1,),)),
+                    CustomerSequence(1, ((2,),)),
+                ]
+            )
+
+    @given(st.lists(st.tuples(st.integers(1, 3), st.integers(1, 5)), max_size=10))
+    def test_sort_phase_is_input_order_independent(self, keys):
+        rows = [
+            Transaction(cid, t, (cid * 10 + t,)) for cid, t in dict.fromkeys(keys)
+        ]
+        import random
+
+        shuffled = rows[:]
+        random.Random(0).shuffle(shuffled)
+        assert SequenceDatabase.from_transactions(
+            rows
+        ) == SequenceDatabase.from_transactions(shuffled)
+
+
+class TestSupportThreshold:
+    @pytest.mark.parametrize(
+        "minsup,customers,expected",
+        [
+            (0.25, 5, 2),   # paper example: 25% of 5 customers → 2
+            (0.25, 8, 2),   # exact integral product stays, not rounded up
+            (0.25, 9, 3),
+            (1.0, 5, 5),
+            (0.01, 10, 1),  # threshold never drops below 1
+            (0.5, 0, 1),
+        ],
+    )
+    def test_values(self, minsup, customers, expected):
+        assert support_threshold(minsup, customers) == expected
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_invalid_minsup(self, bad):
+        with pytest.raises(ValueError):
+            support_threshold(bad, 10)
+
+    def test_negative_customers(self):
+        with pytest.raises(ValueError):
+            support_threshold(0.5, -1)
+
+    @given(st.floats(0.001, 1.0), st.integers(0, 1000))
+    def test_threshold_is_minimal_satisfying_count(self, minsup, customers):
+        t = support_threshold(minsup, customers)
+        assert t >= 1
+        if customers:
+            # t customers satisfy minsup; t-1 do not (unless t == 1).
+            assert t / customers >= minsup - 1e-9
+            if t > 1:
+                assert (t - 1) / customers < minsup
+
+
+class TestSupportCounting:
+    def test_paper_supports(self):
+        db = paper_db()
+        assert db.support_count(Sequence([[30]])) == 4
+        assert db.support_count(Sequence([[90]])) == 3
+        assert db.support_count(Sequence([[30], [90]])) == 2
+        assert db.support_count(Sequence([[30], [40, 70]])) == 2
+        # (40 70) as one event vs two events
+        assert db.support_count(Sequence([[40, 70]])) == 2
+        assert db.support_count(Sequence([[40], [70]])) == 0
+
+    def test_customer_counted_once(self):
+        db = SequenceDatabase.from_sequences([[(1,), (1,), (1,)]])
+        assert db.support_count(Sequence([[1]])) == 1
+
+    def test_support_fraction(self):
+        db = paper_db()
+        assert db.support(Sequence([[30]])) == pytest.approx(0.8)
+
+    def test_support_of_absent_pattern(self):
+        assert paper_db().support_count(Sequence([[999]])) == 0
+
+    def test_support_on_empty_db(self):
+        db = SequenceDatabase([])
+        assert db.support(Sequence([[1]])) == 0.0
+
+
+class TestStats:
+    def test_paper_example_stats(self):
+        stats = paper_db().stats()
+        assert stats.num_customers == 5
+        assert stats.num_transactions == 10
+        assert stats.num_items_total == 16
+        assert stats.num_distinct_items == 8
+        assert stats.avg_transactions_per_customer == pytest.approx(2.0)
+        assert stats.avg_items_per_transaction == pytest.approx(1.6)
+
+    def test_as_row_keys(self):
+        row = paper_db().stats().as_row()
+        assert set(row) == {
+            "customers",
+            "transactions",
+            "avg_trans_per_cust",
+            "avg_items_per_trans",
+            "distinct_items",
+            "size_mb",
+        }
+
+    def test_item_vocabulary(self):
+        assert paper_db().item_vocabulary() == frozenset(
+            {10, 20, 30, 40, 50, 60, 70, 90}
+        )
+
+
+class TestCustomerSequence:
+    def test_as_sequence(self):
+        cust = CustomerSequence(1, ((1, 2), (3,)))
+        assert cust.as_sequence() == Sequence([[1, 2], [3]])
+
+    def test_contains(self):
+        cust = CustomerSequence(1, ((1, 2), (3,)))
+        assert cust.contains(Sequence([[1], [3]]))
+        assert not cust.contains(Sequence([[3], [1]]))
+
+    def test_counts(self):
+        cust = CustomerSequence(1, ((1, 2), (3,)))
+        assert cust.num_transactions == 2
+        assert cust.num_items == 3
+
+    @given(my.databases())
+    def test_iteration_matches_len(self, db):
+        assert len(list(db)) == len(db) == db.num_customers

@@ -1,0 +1,195 @@
+"""Tests for the synthetic data generator (params, tables, assembly)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.generator import generate_database, generate_transactions
+from repro.datagen.params import SyntheticParams
+from repro.datagen.tables import (
+    generate_itemset_table,
+    generate_pattern_tables,
+    generate_sequence_table,
+)
+from repro.db.database import SequenceDatabase
+
+SMALL = SyntheticParams(
+    num_customers=60,
+    avg_transactions_per_customer=5.0,
+    avg_items_per_transaction=2.0,
+    avg_pattern_sequence_length=3.0,
+    avg_pattern_itemset_size=1.5,
+    num_pattern_sequences=20,
+    num_pattern_itemsets=50,
+    num_items=100,
+)
+
+
+class TestParams:
+    def test_name_formatting(self):
+        assert SMALL.name == "C5-T2-S3-I1.5"
+        assert SyntheticParams().name == "C10-T2.5-S4-I1.25"
+
+    def test_from_name_roundtrip(self):
+        parsed = SyntheticParams.from_name("C20-T2.5-S8-I1.25")
+        assert parsed.avg_transactions_per_customer == 20
+        assert parsed.avg_items_per_transaction == 2.5
+        assert parsed.avg_pattern_sequence_length == 8
+        assert parsed.avg_pattern_itemset_size == 1.25
+        assert parsed.name == "C20-T2.5-S8-I1.25"
+
+    def test_from_name_with_overrides(self):
+        parsed = SyntheticParams.from_name("C10-T5-S4-I2.5", num_customers=77)
+        assert parsed.num_customers == 77
+
+    @pytest.mark.parametrize("bad", ["", "C10", "C10-T5", "T5-C10-S4-I1", "C10-T5-S4-I1.25-X9"])
+    def test_from_name_rejects(self, bad):
+        with pytest.raises(ValueError):
+            SyntheticParams.from_name(bad)
+
+    def test_paper_scale(self):
+        full = SMALL.paper_scale()
+        assert full.num_customers == 250_000
+        assert full.num_items == 10_000
+        assert full.num_pattern_sequences == 5_000
+        assert full.num_pattern_itemsets == 25_000
+        # Name-defining knobs are preserved.
+        assert full.name == SMALL.name
+
+    def test_scaled(self):
+        assert SMALL.scaled(2.0).num_customers == 120
+        assert SMALL.scaled(0.5).num_customers == 30
+        with pytest.raises(ValueError):
+            SMALL.scaled(0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_customers", -1),
+            ("avg_transactions_per_customer", 0),
+            ("avg_items_per_transaction", -2.0),
+            ("num_items", 0),
+            ("num_pattern_sequences", 0),
+            ("num_pattern_itemsets", 0),
+            ("correlation_level", 1.5),
+            ("corruption_mean", -0.1),
+            ("corruption_sd", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            SMALL.with_(**{field: value})
+
+
+class TestTables:
+    def test_itemset_table_shape(self):
+        rng = np.random.default_rng(1)
+        itemsets, probs, corruption = generate_itemset_table(SMALL, rng)
+        assert len(itemsets) == SMALL.num_pattern_itemsets
+        assert probs.shape == (50,)
+        assert corruption.shape == (50,)
+        assert abs(probs.sum() - 1.0) < 1e-9
+        assert ((corruption >= 0) & (corruption <= 1)).all()
+
+    def test_itemsets_are_canonical_and_in_range(self):
+        rng = np.random.default_rng(2)
+        itemsets, _, _ = generate_itemset_table(SMALL, rng)
+        for itemset in itemsets:
+            assert itemset == tuple(sorted(set(itemset)))
+            assert all(1 <= item <= SMALL.num_items for item in itemset)
+            assert len(itemset) >= 1
+
+    def test_sequence_table_shape(self):
+        rng = np.random.default_rng(3)
+        itemsets, probs, _ = generate_itemset_table(SMALL, rng)
+        sequences, seq_probs, corr = generate_sequence_table(
+            SMALL, rng, len(itemsets), probs
+        )
+        assert len(sequences) == SMALL.num_pattern_sequences
+        assert abs(seq_probs.sum() - 1.0) < 1e-9
+        for seq in sequences:
+            assert len(seq) >= 1
+            assert all(0 <= idx < len(itemsets) for idx in seq)
+
+    def test_mean_sizes_near_targets(self):
+        params = SMALL.with_(
+            num_pattern_itemsets=2000,
+            num_pattern_sequences=800,
+            avg_pattern_itemset_size=2.5,
+            avg_pattern_sequence_length=4.0,
+        )
+        tables = generate_pattern_tables(params, np.random.default_rng(4))
+        mean_size = np.mean([len(i) for i in tables.itemsets])
+        mean_len = np.mean([len(s) for s in tables.sequences])
+        # Poisson clipped at 1 biases slightly high; allow a loose band.
+        assert 2.2 < mean_size < 3.0
+        assert 3.5 < mean_len < 4.7
+
+    def test_sequence_events_view(self):
+        tables = generate_pattern_tables(SMALL, np.random.default_rng(5))
+        events = tables.sequence_events(0)
+        assert len(events) == len(tables.sequences[0])
+        assert all(isinstance(e, tuple) for e in events)
+
+
+class TestGenerator:
+    def test_deterministic_under_seed(self):
+        a = generate_database(SMALL, seed=11)
+        b = generate_database(SMALL, seed=11)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_database(SMALL, seed=11)
+        b = generate_database(SMALL, seed=12)
+        assert a != b
+
+    def test_customer_count(self):
+        db = generate_database(SMALL, seed=1)
+        assert db.num_customers == SMALL.num_customers
+        assert [c.customer_id for c in db] == list(range(1, 61))
+
+    def test_no_degenerate_customers(self):
+        db = generate_database(SMALL, seed=2)
+        for customer in db:
+            assert customer.num_transactions >= 1
+            assert all(len(event) >= 1 for event in customer.events)
+
+    def test_items_in_range(self):
+        db = generate_database(SMALL, seed=3)
+        assert all(1 <= i <= SMALL.num_items for i in db.item_vocabulary())
+
+    def test_sizes_near_targets(self):
+        params = SMALL.with_(num_customers=300)
+        db = generate_database(params, seed=4)
+        stats = db.stats()
+        assert 3.5 < stats.avg_transactions_per_customer < 6.5
+        # Transactions can exceed their Poisson target via the 50% overflow
+        # rule, and lose items to event merging; keep a generous band.
+        assert 1.2 < stats.avg_items_per_transaction < 4.0
+
+    def test_zero_customers(self):
+        db = generate_database(SMALL.with_(num_customers=0), seed=5)
+        assert db.num_customers == 0
+
+    def test_embedded_patterns_are_frequent(self):
+        """The point of the generator: data must contain mineable
+        multi-event patterns well above noise."""
+        from repro import mine_sequential_patterns
+
+        params = SMALL.with_(num_customers=250)
+        db = generate_database(params, seed=6)
+        result = mine_sequential_patterns(db, minsup=0.05)
+        multi = [p for p in result.patterns if p.sequence.length >= 2]
+        assert multi, "expected frequent multi-event patterns in synthetic data"
+
+    def test_generate_transactions_roundtrip(self):
+        rows = list(generate_transactions(SMALL, seed=7))
+        rebuilt = SequenceDatabase.from_transactions(rows)
+        assert rebuilt == generate_database(SMALL, seed=7)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_any_seed_valid(self, seed):
+        db = generate_database(SMALL.with_(num_customers=5), seed=seed)
+        assert db.num_customers == 5

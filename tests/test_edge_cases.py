@@ -1,0 +1,225 @@
+"""Edge cases and degenerate inputs across the pipeline.
+
+Each test here exercises a path no other test reaches: single-item
+universes, all-identical customers, threshold boundaries, zero-correlation
+and zero-variance generator settings, combined time constraints, and the
+public API's behavior at the extremes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MiningParams,
+    SequenceDatabase,
+    SyntheticParams,
+    Transaction,
+    generate_database,
+    mine,
+    mine_sequential_patterns,
+)
+from repro.baselines.prefixspan import prefixspan_mine
+from repro.core.apriorisome import NextLengthPolicy
+from repro.datagen.tables import generate_pattern_tables
+from repro.db.records import Transaction as Txn
+from repro.extensions.timeconstraints import (
+    TimeConstraints,
+    mine_time_constrained,
+)
+
+
+class TestDegenerateDatabases:
+    def test_single_item_universe(self):
+        db = SequenceDatabase.from_sequences([[(1,)] * 4] * 3)
+        result = mine_sequential_patterns(db, 1.0)
+        assert [str(p.sequence) for p in result.patterns] == ["<(1)(1)(1)(1)>"]
+
+    def test_one_customer_one_transaction(self):
+        db = SequenceDatabase.from_sequences([[(5, 7)]])
+        result = mine_sequential_patterns(db, 1.0)
+        assert [str(p.sequence) for p in result.patterns] == ["<(5 7)>"]
+
+    def test_threshold_exactly_all_customers(self):
+        db = SequenceDatabase.from_sequences([[(1,)], [(1,)], [(1,), (2,)]])
+        result = mine_sequential_patterns(db, 1.0)
+        assert [str(p.sequence) for p in result.patterns] == ["<(1)>"]
+
+    def test_threshold_just_below_two_customers(self):
+        # 0.5 of 3 customers → threshold 2.
+        db = SequenceDatabase.from_sequences([[(1,)], [(1,)], [(2,)]])
+        result = mine_sequential_patterns(db, 0.5)
+        assert [str(p.sequence) for p in result.patterns] == ["<(1)>"]
+
+    def test_long_single_customer_chain(self):
+        # Every subsequence of the chain is frequent at threshold 1, so the
+        # large-sequence count is 2^n; n=10 keeps that tractable while
+        # still exercising ten counting passes.
+        events = [(i,) for i in range(1, 11)]
+        db = SequenceDatabase.from_sequences([events])
+        result = mine_sequential_patterns(db, 1.0)
+        assert result.patterns[0].sequence.length == 10
+        assert result.num_patterns == 1
+
+    def test_all_customers_identical_multi_item_events(self):
+        db = SequenceDatabase.from_sequences([[(1, 2, 3), (1, 2, 3)]] * 2)
+        result = mine_sequential_patterns(db, 1.0)
+        assert [str(p.sequence) for p in result.patterns] == [
+            "<(1 2 3)(1 2 3)>"
+        ]
+
+    @pytest.mark.parametrize("algorithm", ["apriorisome", "dynamicsome"])
+    def test_some_variants_on_single_event_customers(self, algorithm):
+        db = SequenceDatabase.from_sequences([[(1,)], [(1,)]])
+        result = mine_sequential_patterns(db, 1.0, algorithm=algorithm)
+        assert [str(p.sequence) for p in result.patterns] == ["<(1)>"]
+
+
+class TestMinerParamInteractions:
+    def test_max_pattern_length_one(self):
+        db = SequenceDatabase.from_sequences([[(1,), (2,)]] * 2)
+        result = mine_sequential_patterns(db, 1.0, max_pattern_length=1)
+        assert {str(p.sequence) for p in result.patterns} == {"<(1)>", "<(2)>"}
+
+    def test_max_litemset_size_one_forbids_multi_item_events(self):
+        db = SequenceDatabase.from_sequences([[(1, 2)]] * 3)
+        result = mine_sequential_patterns(db, 1.0, max_litemset_size=1)
+        assert {str(p.sequence) for p in result.patterns} == {"<(1)>", "<(2)>"}
+
+    def test_dynamic_step_larger_than_any_pattern(self):
+        db = SequenceDatabase.from_sequences([[(1,), (2,)]] * 2)
+        result = mine_sequential_patterns(
+            db, 1.0, algorithm="dynamicsome", dynamic_step=10
+        )
+        assert [str(p.sequence) for p in result.patterns] == ["<(1)(2)>"]
+
+    def test_next_policy_single_breakpoint(self):
+        db = SequenceDatabase.from_sequences([[(1,), (2,), (3,)]] * 2)
+        policy = NextLengthPolicy(breakpoints=((0.9, 3),), max_skip=3)
+        result = mine(
+            db,
+            MiningParams(minsup=1.0, algorithm="apriorisome", next_policy=policy),
+        )
+        assert [str(p.sequence) for p in result.patterns] == ["<(1)(2)(3)>"]
+
+    def test_sort_seconds_recorded(self):
+        db = SequenceDatabase.from_sequences([[(1,)]])
+        result = mine(db, MiningParams(minsup=1.0), sort_seconds=1.5)
+        assert result.timings.sort_seconds == 1.5
+
+
+class TestGeneratorDegenerateKnobs:
+    BASE = SyntheticParams(
+        num_customers=20,
+        avg_transactions_per_customer=3.0,
+        avg_items_per_transaction=2.0,
+        avg_pattern_sequence_length=2.0,
+        avg_pattern_itemset_size=1.0,
+        num_pattern_sequences=5,
+        num_pattern_itemsets=10,
+        num_items=30,
+    )
+
+    def test_zero_correlation(self):
+        db = generate_database(self.BASE.with_(correlation_level=0.0), seed=1)
+        assert db.num_customers == 20
+
+    def test_zero_corruption_variance(self):
+        params = self.BASE.with_(corruption_sd=0.0, corruption_mean=0.0)
+        db = generate_database(params, seed=2)
+        assert db.num_customers == 20
+
+    def test_full_corruption_still_yields_customers(self):
+        # corruption 1.0 drops (almost) everything; the generator must
+        # fall back to a random item rather than emit empty customers.
+        params = self.BASE.with_(corruption_mean=1.0, corruption_sd=0.0)
+        db = generate_database(params, seed=3)
+        assert all(c.num_items >= 1 for c in db)
+
+    def test_tiny_item_universe(self):
+        params = self.BASE.with_(num_items=2, avg_pattern_itemset_size=1.0)
+        db = generate_database(params, seed=4)
+        assert db.item_vocabulary() <= {1, 2}
+
+    def test_tables_with_itemset_size_capped_by_universe(self):
+        params = self.BASE.with_(num_items=3, avg_pattern_itemset_size=3.0)
+        tables = generate_pattern_tables(params, np.random.default_rng(5))
+        assert all(len(itemset) <= 3 for itemset in tables.itemsets)
+
+
+class TestTimeConstraintCombinations:
+    LOG = [
+        Txn(1, 10, (1,)), Txn(1, 12, (2,)), Txn(1, 20, (3,)),
+        Txn(2, 10, (1,)), Txn(2, 12, (2,)), Txn(2, 40, (3,)),
+    ]
+
+    def test_window_and_max_gap_together(self):
+        # (1 2) via window; (3) within max_gap of the window START.
+        got = mine_time_constrained(
+            self.LOG, 1.0, TimeConstraints(window_size=2, max_gap=10)
+        )
+        names = {str(p.sequence) for p in got}
+        assert "<(1 2)>" in names
+        # Customer 2's (3) at t=40 violates max_gap → only 1 customer has
+        # <(1 2)(3)> under the gap, so it is not frequent at 100%.
+        assert "<(1 2)(3)>" not in names
+
+    def test_min_gap_with_window(self):
+        got = mine_time_constrained(
+            self.LOG, 0.5, TimeConstraints(window_size=2, min_gap=7)
+        )
+        names = {str(p.sequence) for p in got}
+        assert "<(1 2)(3)>" in names  # customer 1: window ends 12, 3 at 20
+
+    def test_constraints_only_shrink_with_tightening_max_gap(self):
+        loose = {
+            str(p.sequence)
+            for p in mine_time_constrained(self.LOG, 0.5, TimeConstraints(max_gap=50))
+        }
+        tight = {
+            str(p.sequence)
+            for p in mine_time_constrained(self.LOG, 0.5, TimeConstraints(max_gap=5))
+        }
+        assert tight <= loose
+
+
+class TestCrossFamilyOnRealisticData:
+    def test_generated_data_three_way_agreement(self):
+        """Full pipeline × PrefixSpan on actual generator output."""
+        params = SyntheticParams(
+            num_customers=80,
+            num_pattern_sequences=10,
+            num_pattern_itemsets=40,
+            num_items=60,
+            avg_transactions_per_customer=4.0,
+            avg_items_per_transaction=2.0,
+            avg_pattern_sequence_length=2.5,
+            avg_pattern_itemset_size=1.2,
+        )
+        db = generate_database(params, seed=77)
+        answers = []
+        for algorithm in ("aprioriall", "apriorisome", "dynamicsome"):
+            result = mine_sequential_patterns(db, 0.1, algorithm=algorithm)
+            answers.append([(p.sequence, p.count) for p in result.patterns])
+        ps = prefixspan_mine(db, 0.1, maximal=True)
+        answers.append([(p.sequence, p.count) for p in ps])
+        assert all(a == answers[0] for a in answers[1:])
+        assert answers[0], "expected at least one pattern in generated data"
+
+
+class TestTransactionTimeSemantics:
+    def test_negative_times_sort_correctly(self):
+        db = SequenceDatabase.from_transactions(
+            [Transaction(1, -5, (2,)), Transaction(1, -10, (1,))]
+        )
+        assert db.customers[0].events == ((1,), (2,))
+
+    def test_widely_spaced_times_irrelevant_to_core(self):
+        a = SequenceDatabase.from_transactions(
+            [Transaction(1, 1, (1,)), Transaction(1, 2, (2,))]
+        )
+        b = SequenceDatabase.from_transactions(
+            [Transaction(1, 1, (1,)), Transaction(1, 1_000_000, (2,))]
+        )
+        pa = mine_sequential_patterns(a, 1.0).sequences()
+        pb = mine_sequential_patterns(b, 1.0).sequences()
+        assert pa == pb

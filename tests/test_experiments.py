@@ -1,0 +1,137 @@
+"""Tests for the experiment harness (small scales so they stay fast)."""
+
+import pytest
+
+from repro.experiments import datasets as ds
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    ablation_counting,
+    fig6_execution_times,
+    fig8_scaleup_customers,
+    pattern_length_summary,
+    table1_parameters,
+    table2_datasets,
+)
+from repro.experiments.harness import RunRecord, run_mining
+
+TINY = dict(num_customers=120, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    ds.clear_cache()
+    yield
+    ds.clear_cache()
+
+
+class TestDatasets:
+    def test_paper_grid_names_parse(self):
+        for name in ds.PAPER_DATASETS:
+            params = ds.dataset_params(name, num_customers=10)
+            assert params.name == name
+
+    def test_load_dataset_cached(self):
+        a = ds.load_dataset("C10-T2.5-S4-I1.25", **TINY)
+        b = ds.load_dataset("C10-T2.5-S4-I1.25", **TINY)
+        assert a is b
+        ds.clear_cache()
+        c = ds.load_dataset("C10-T2.5-S4-I1.25", **TINY)
+        assert c is not a
+        assert c == a  # deterministic regeneration
+
+    def test_bench_minsups_density_adjusted(self):
+        assert ds.bench_minsups("C10-T2.5-S4-I1.25") == ds.BENCH_MINSUPS
+        assert ds.bench_minsups("C10-T5-S4-I1.25") == ds.BENCH_MINSUPS_DENSE
+        assert ds.bench_minsups("C20-T2.5-S8-I1.25") == ds.BENCH_MINSUPS_DENSE
+
+    def test_fast_mode_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+        assert ds.fast_mode()
+        assert len(ds.bench_minsups("C10-T2.5-S4-I1.25")) == 3
+        assert ds.bench_customers() == 400
+
+    def test_customers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CUSTOMERS", "123")
+        assert ds.bench_customers() == 123
+        monkeypatch.setenv("REPRO_BENCH_CUSTOMERS", "0")
+        with pytest.raises(ValueError):
+            ds.bench_customers()
+
+
+class TestHarness:
+    def test_run_record_shape(self):
+        db = ds.load_dataset("C10-T2.5-S4-I1.25", **TINY)
+        record, result = run_mining(
+            db, dataset="C10-T2.5-S4-I1.25", algorithm="aprioriall", minsup=0.05
+        )
+        assert record.num_customers == 120
+        assert record.num_patterns == result.num_patterns
+        assert record.seconds > 0
+        assert len(record.as_row()) == len(RunRecord.ROW_HEADERS)
+
+
+class TestFigures:
+    def test_table1_static(self):
+        figure = table1_parameters()
+        assert len(figure.rows) == 8
+        assert "Table 1" in figure.render()
+
+    def test_table2_small(self):
+        figure = table2_datasets(
+            datasets=("C10-T2.5-S4-I1.25",), **TINY
+        )
+        assert len(figure.rows) == 1
+        assert figure.rows[0][1] == 120
+
+    def test_fig6_structure(self):
+        figure = fig6_execution_times(
+            "C10-T2.5-S4-I1.25",
+            minsups=(0.08, 0.05),
+            algorithms=("aprioriall", "apriorisome"),
+            **TINY,
+        )
+        assert len(figure.rows) == 4
+        assert set(figure.series) == {"aprioriall", "apriorisome"}
+        assert not any("DISAGREEMENT" in n for n in figure.notes)
+        rendered = figure.render()
+        assert "seconds vs minsup" in rendered
+
+    def test_fig8_relative_baseline(self):
+        figure = fig8_scaleup_customers(
+            factors=(1.0, 2.0),
+            minsup=0.06,
+            algorithms=("aprioriall",),
+            base_customers=80,
+            seed=3,
+        )
+        relatives = [row[3] for row in figure.rows]
+        assert relatives[0] == 1.0
+
+    def test_ablation_counting_agreement(self):
+        figure = ablation_counting(
+            dataset="C10-T2.5-S4-I1.25", minsup=0.05, **TINY
+        )
+        assert len(figure.rows) == 2
+        assert figure.rows[0][2] == figure.rows[1][2]
+
+    def test_pattern_length_summary(self):
+        figure = pattern_length_summary(
+            dataset="C10-T2.5-S4-I1.25", minsup=0.05, **TINY
+        )
+        assert all(isinstance(row[0], int) for row in figure.rows)
+
+    def test_registry_contains_all_panels(self):
+        for name in ds.PAPER_DATASETS:
+            assert f"fig6-{name}" in EXPERIMENTS
+        for key in (
+            "table1-params",
+            "table2-datasets",
+            "fig7-candidates",
+            "fig8-scaleup-customers",
+            "fig9-scaleup-density",
+            "ablation-counting",
+            "ablation-phases",
+            "ablation-next-policy",
+            "ablation-dynamic-step",
+        ):
+            assert key in EXPERIMENTS

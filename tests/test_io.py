@@ -1,0 +1,182 @@
+"""Tests for the I/O layer: SPMF, CSV, pattern files."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.miner import Pattern
+from repro.core.sequence import Sequence
+from repro.db.database import SequenceDatabase
+from repro.db.records import Transaction
+from repro.io.csvio import (
+    CsvFormatError,
+    database_to_transactions,
+    read_database_csv,
+    read_transactions_csv,
+    write_transactions_csv,
+)
+from repro.io.patterns import (
+    PatternFormatError,
+    format_pattern_line,
+    parse_pattern_line,
+    patterns_from_json,
+    patterns_to_json,
+    read_patterns,
+    write_patterns,
+)
+from repro.io.spmf import (
+    SpmfFormatError,
+    format_spmf_line,
+    iter_spmf_lines,
+    read_spmf,
+    write_spmf,
+)
+from tests import strategies as my
+from tests.test_database import paper_db
+
+
+class TestSpmf:
+    def test_format_line(self):
+        assert format_spmf_line(((1, 2), (3,))) == "1 2 -1 3 -1 -2"
+
+    def test_read_simple(self):
+        db = read_spmf(io.StringIO("1 2 -1 3 -1 -2\n3 -1 -2\n"))
+        assert db.num_customers == 2
+        assert db.customers[0].events == ((1, 2), (3,))
+        assert db.customers[1].events == ((3,),)
+
+    def test_read_skips_blank_and_comment_lines(self):
+        text = "# comment\n\n%meta\n@converted\n1 -1 -2\n"
+        db = read_spmf(io.StringIO(text))
+        assert db.num_customers == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1 2 -2",          # itemset not closed by -1
+            "1 -1",            # missing -2
+            "-1 -2",           # empty itemset
+            "1 -1 -2 5",       # tokens after -2
+            "1 x -1 -2",       # non-integer
+            "-3 -1 -2",        # invalid negative
+        ],
+    )
+    def test_read_rejects_malformed(self, bad):
+        with pytest.raises(SpmfFormatError):
+            read_spmf(io.StringIO(bad + "\n"))
+
+    def test_write_read_file_roundtrip(self, tmp_path):
+        db = paper_db()
+        path = tmp_path / "paper.spmf"
+        assert write_spmf(db, path) == 5
+        again = read_spmf(path)
+        assert [c.events for c in again] == [c.events for c in db]
+
+    def test_iter_lines_matches_write(self):
+        db = paper_db()
+        buffer = io.StringIO()
+        write_spmf(db, buffer)
+        assert buffer.getvalue() == "".join(
+            line + "\n" for line in iter_spmf_lines(db)
+        )
+
+    @given(my.databases(max_item=50))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, db):
+        buffer = io.StringIO()
+        write_spmf(db, buffer)
+        buffer.seek(0)
+        again = read_spmf(buffer)
+        assert [c.events for c in again] == [c.events for c in db]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            Transaction(1, 1, (30,)),
+            Transaction(1, 2, (90,)),
+            Transaction(2, 1, (10, 20)),
+        ]
+        path = tmp_path / "txns.csv"
+        assert write_transactions_csv(rows, path) == 3
+        again = read_transactions_csv(path)
+        assert again == rows
+
+    def test_read_database_csv(self):
+        text = (
+            "customer_id,transaction_time,items\n"
+            "1,2,90\n"
+            "1,1,30\n"
+        )
+        db = read_database_csv(io.StringIO(text))
+        assert db.customers[0].events == ((30,), (90,))
+
+    def test_blank_rows_skipped(self):
+        text = "customer_id,transaction_time,items\n\n1,1,5\n"
+        assert len(read_transactions_csv(io.StringIO(text))) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",                                        # no header
+            "customer,when,what\n1,1,5\n",             # wrong header
+            "customer_id,transaction_time,items\n1,1\n",   # short row
+            "customer_id,transaction_time,items\nx,1,5\n",  # bad int
+            "customer_id,transaction_time,items\n1,1,\n",   # empty items
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(CsvFormatError):
+            read_transactions_csv(io.StringIO(bad))
+
+    def test_database_to_transactions_roundtrip(self):
+        db = paper_db()
+        rebuilt = SequenceDatabase.from_transactions(database_to_transactions(db))
+        assert rebuilt == db
+
+
+class TestPatternFiles:
+    PATTERN = Pattern(sequence=Sequence([[30], [40, 70]]), count=2, support=0.4)
+
+    def test_format_line(self):
+        line = format_pattern_line(self.PATTERN)
+        assert line == "<(30)(40 70)> #SUP: 2 #FREQ: 0.400000"
+
+    def test_parse_line(self):
+        parsed = parse_pattern_line("<(30)(40 70)> #SUP: 2 #FREQ: 0.400000")
+        assert parsed == self.PATTERN
+
+    def test_parse_line_without_freq(self):
+        parsed = parse_pattern_line("<(1)> #SUP: 7")
+        assert parsed.count == 7
+        assert parsed.support == 0.0
+
+    @pytest.mark.parametrize(
+        "bad", ["<(1)>", "<(1)> #SUP: x", "junk #SUP: 1", "<(1)> #SUP: 1 #FREQ: ?"]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises((PatternFormatError, Exception)):
+            parse_pattern_line(bad)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "patterns.txt"
+        patterns = [
+            self.PATTERN,
+            Pattern(sequence=Sequence([[90]]), count=3, support=0.6),
+        ]
+        assert write_patterns(patterns, path) == 2
+        assert read_patterns(path) == patterns
+
+    def test_read_skips_comments(self):
+        text = "# header\n<(1)> #SUP: 2 #FREQ: 0.5\n"
+        assert len(read_patterns(io.StringIO(text))) == 1
+
+    def test_json_roundtrip(self):
+        patterns = [self.PATTERN]
+        assert patterns_from_json(patterns_to_json(patterns)) == patterns
+
+    @pytest.mark.parametrize("bad", ["{", "{}", '[{"events": []}]'])
+    def test_json_rejects(self, bad):
+        with pytest.raises(PatternFormatError):
+            patterns_from_json(bad)

@@ -1,0 +1,129 @@
+"""Tests for the litemset phase (customer-support Apriori)."""
+
+from itertools import chain, combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.db.database import SequenceDatabase
+from repro.itemsets.apriori import (
+    count_itemset_supports,
+    find_litemsets,
+    generate_candidate_itemsets,
+)
+from tests import strategies as my
+from tests.test_database import paper_db
+
+
+def brute_force_litemsets(db, minsup):
+    """Oracle: enumerate all subsets of all transactions, count customers."""
+    threshold = db.threshold(minsup)
+    universe = set()
+    for customer in db:
+        for event in customer.events:
+            for size in range(1, len(event) + 1):
+                universe.update(combinations(event, size))
+    supports = {}
+    for itemset in universe:
+        needed = set(itemset)
+        count = sum(
+            1
+            for customer in db
+            if any(needed.issubset(event) for event in customer.events)
+        )
+        if count >= threshold:
+            supports[itemset] = count
+    return supports
+
+
+class TestCandidateGeneration:
+    def test_vldb94_example(self):
+        # L3 = {123,124,134,135,234} → join {1234,1345}, prune 1345.
+        large = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (1, 3, 5), (2, 3, 4)]
+        assert generate_candidate_itemsets(large) == [(1, 2, 3, 4)]
+
+    def test_pairs_from_singletons(self):
+        assert generate_candidate_itemsets([(1,), (2,), (3,)]) == [
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        ]
+
+    def test_empty_input(self):
+        assert generate_candidate_itemsets([]) == []
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            generate_candidate_itemsets([(1,), (1, 2)])
+
+    @given(my.databases())
+    @settings(max_examples=50)
+    def test_candidates_cover_all_large(self, db):
+        """Every large k-itemset appears among candidates from L_{k-1}."""
+        supports = brute_force_litemsets(db, minsup=0.3)
+        by_len = {}
+        for itemset in supports:
+            by_len.setdefault(len(itemset), set()).add(itemset)
+        for k in sorted(by_len):
+            if k == 1:
+                continue
+            candidates = set(generate_candidate_itemsets(sorted(by_len[k - 1])))
+            assert by_len[k] <= candidates
+
+
+class TestCounting:
+    def test_counts_per_customer_not_per_transaction(self):
+        db = SequenceDatabase.from_sequences([[(1, 2), (1, 2), (1, 2)]])
+        counts = count_itemset_supports(db, [(1, 2)])
+        assert counts[(1, 2)] == 1
+
+    def test_counts_across_customers(self):
+        db = SequenceDatabase.from_sequences([[(1, 2)], [(1,), (2,)], [(1, 2, 3)]])
+        counts = count_itemset_supports(db, [(1, 2)])
+        assert counts[(1, 2)] == 2  # customer 2 never has both together
+
+    def test_empty_candidates(self):
+        assert count_itemset_supports(paper_db(), []) == {}
+
+
+class TestFindLitemsets:
+    def test_paper_example(self):
+        """The paper's Figure: litemsets at 25% are (30),(40),(70),(40 70),(90)."""
+        result = find_litemsets(paper_db(), minsup=0.25)
+        assert set(result.itemsets()) == {(30,), (40,), (70,), (40, 70), (90,)}
+        assert result.supports[(30,)] == 4
+        assert result.supports[(40,)] == 2
+        assert result.supports[(70,)] == 3
+        assert result.supports[(40, 70)] == 2
+        assert result.supports[(90,)] == 3
+
+    def test_itemsets_sorted_deterministically(self):
+        result = find_litemsets(paper_db(), minsup=0.25)
+        ordered = result.itemsets()
+        assert ordered == sorted(ordered, key=lambda s: (len(s), s))
+
+    def test_full_support_threshold(self):
+        db = SequenceDatabase.from_sequences([[(1, 2)], [(1, 2)], [(1, 3)]])
+        result = find_litemsets(db, minsup=1.0)
+        assert set(result.itemsets()) == {(1,)}
+
+    def test_max_length_cap(self):
+        db = SequenceDatabase.from_sequences([[(1, 2, 3)], [(1, 2, 3)]])
+        result = find_litemsets(db, minsup=0.5, max_length=2)
+        assert max(len(s) for s in result.itemsets()) == 2
+
+    def test_empty_database(self):
+        result = find_litemsets(SequenceDatabase([]), minsup=0.5)
+        assert len(result) == 0
+
+    def test_pass_stats_recorded(self):
+        result = find_litemsets(paper_db(), minsup=0.25)
+        assert result.passes[0].length == 1
+        assert result.passes[0].num_large == 5 - 1  # (30),(40),(70),(90)
+        assert any(p.length == 2 for p in result.passes)
+
+    @given(my.databases(), my.minsups())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, db, minsup):
+        result = find_litemsets(db, minsup)
+        assert dict(result.supports) == brute_force_litemsets(db, minsup)

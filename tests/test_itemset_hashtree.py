@@ -1,0 +1,89 @@
+"""Tests for the itemset hash tree."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.itemsets.hashtree import ItemsetHashTree
+from tests import strategies as my
+
+
+def naive_subsets(stored, transaction):
+    txn = frozenset(transaction)
+    return {s for s in stored if txn.issuperset(s)}
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = ItemsetHashTree()
+        assert len(tree) == 0
+        assert tree.subsets_of((1, 2, 3)) == set()
+
+    def test_insert_and_lookup(self):
+        tree = ItemsetHashTree([(1, 2), (2, 3), (4,)])
+        assert tree.subsets_of((1, 2, 3)) == {(1, 2), (2, 3)}
+        assert tree.subsets_of((4, 9)) == {(4,)}
+        assert tree.subsets_of((9,)) == set()
+
+    def test_empty_transaction(self):
+        tree = ItemsetHashTree([(1,)])
+        assert tree.subsets_of(()) == set()
+
+    def test_accepts_frozenset_transactions(self):
+        tree = ItemsetHashTree([(1, 2)])
+        assert tree.subsets_of(frozenset({1, 2, 9})) == {(1, 2)}
+
+    def test_rejects_empty_itemset(self):
+        with pytest.raises(ValueError):
+            ItemsetHashTree([()])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ItemsetHashTree(leaf_capacity=0)
+        with pytest.raises(ValueError):
+            ItemsetHashTree(branch_factor=1)
+
+    def test_iter_returns_all(self):
+        itemsets = [(i, i + 1) for i in range(1, 50)]
+        tree = ItemsetHashTree(itemsets, leaf_capacity=2)
+        assert sorted(tree) == sorted(itemsets)
+        assert len(tree) == len(itemsets)
+
+
+class TestSplitting:
+    def test_splits_keep_lookup_correct(self):
+        itemsets = [(i,) for i in range(1, 40)] + [
+            (i, j) for i in range(1, 10) for j in range(i + 1, 10)
+        ]
+        tree = ItemsetHashTree(itemsets, leaf_capacity=1, branch_factor=4)
+        transaction = (1, 2, 3, 4, 5)
+        assert tree.subsets_of(transaction) == naive_subsets(itemsets, transaction)
+
+    def test_mixed_lengths_stored_here(self):
+        # Prefix itemsets must stay findable when their node splits.
+        itemsets = [(1,), (1, 2), (1, 2, 3), (1, 2, 3, 4), (1, 2, 3, 5)]
+        tree = ItemsetHashTree(itemsets, leaf_capacity=1, branch_factor=2)
+        assert tree.subsets_of((1, 2, 3, 4, 5)) == set(itemsets)
+        assert tree.subsets_of((1, 2)) == {(1,), (1, 2)}
+
+    def test_duplicate_length_collisions_stay_leaf(self):
+        # Many equal itemsets of one length hashing identically cannot be
+        # split; the leaf just grows.
+        itemsets = [(i * 4,) for i in range(1, 10)]  # all hash to 0 (mod 4)
+        tree = ItemsetHashTree(itemsets, leaf_capacity=2, branch_factor=4)
+        assert tree.subsets_of((4, 8, 12)) == {(4,), (8,), (12,)}
+
+
+class TestAgainstNaive:
+    @given(
+        st.lists(my.itemsets(max_item=8, max_size=4), min_size=0, max_size=30),
+        my.itemsets(max_item=8, max_size=6),
+        st.integers(1, 4),
+        st.integers(2, 8),
+    )
+    def test_subsets_match_naive(self, stored, transaction, leaf_capacity, branch):
+        stored = list(dict.fromkeys(stored))
+        tree = ItemsetHashTree(
+            stored, leaf_capacity=leaf_capacity, branch_factor=branch
+        )
+        assert tree.subsets_of(transaction) == naive_subsets(stored, transaction)

@@ -1,0 +1,121 @@
+"""Tests for the PrefixSpan baseline — the independent second oracle."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import mine_sequential_patterns
+from repro.baselines.bruteforce import enumerate_contained_sequences
+from repro.baselines.prefixspan import (
+    iter_frequent_counts,
+    prefixspan_frequent_set,
+    prefixspan_mine,
+)
+from repro.core.sequence import Sequence, sequence_contains
+from repro.db.database import SequenceDatabase
+from tests import strategies as my
+from tests.test_database import paper_db
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def brute_force_frequent(db, minsup):
+    threshold = db.threshold(minsup)
+    candidates = set()
+    for customer in db:
+        candidates |= enumerate_contained_sequences(customer.events)
+    frequent = {}
+    for pattern in candidates:
+        count = sum(1 for c in db if sequence_contains(c.events, pattern))
+        if count >= threshold:
+            frequent[Sequence(tuple(sorted(e)) for e in pattern)] = count
+    return frequent
+
+
+class TestGolden:
+    def test_paper_example_all_frequent(self):
+        patterns = prefixspan_mine(paper_db(), 0.25)
+        got = dict(iter_frequent_counts(patterns))
+        assert got == {
+            "<(30)>": 4,
+            "<(40)>": 2,
+            "<(70)>": 3,
+            "<(40 70)>": 2,
+            "<(90)>": 3,
+            "<(30)(40)>": 2,
+            "<(30)(70)>": 2,
+            "<(30)(40 70)>": 2,
+            "<(30)(90)>": 2,
+        }
+
+    def test_paper_example_maximal(self):
+        patterns = prefixspan_mine(paper_db(), 0.25, maximal=True)
+        assert [str(p.sequence) for p in patterns] == [
+            "<(30)(40 70)>",
+            "<(30)(90)>",
+        ]
+
+    def test_i_extension_needs_same_event(self):
+        db = SequenceDatabase.from_sequences([[(1,), (2,)], [(1,), (2,)]])
+        got = {str(p.sequence) for p in prefixspan_mine(db, 1.0)}
+        assert "<(1 2)>" not in got
+        assert "<(1)(2)>" in got
+
+    def test_i_extension_beyond_greedy_position(self):
+        """The i-extension must see events after the first match of the
+        last element: <(a)(b c)> when the first (b) lacks c."""
+        db = SequenceDatabase.from_sequences(
+            [[(1,), (2,), (2, 3)], [(1,), (2,), (2, 3)]]
+        )
+        got = {str(p.sequence) for p in prefixspan_mine(db, 1.0)}
+        assert "<(1)(2 3)>" in got
+
+    def test_repeated_item_sequences(self):
+        db = SequenceDatabase.from_sequences([[(1,), (1,), (1,)]] * 2)
+        got = {str(p.sequence) for p in prefixspan_mine(db, 1.0)}
+        assert got == {"<(1)>", "<(1)(1)>", "<(1)(1)(1)>"}
+
+    def test_max_pattern_length(self):
+        db = SequenceDatabase.from_sequences([[(1,), (2,), (3,)]] * 2)
+        patterns = prefixspan_mine(db, 1.0, max_pattern_length=2)
+        assert max(p.sequence.length for p in patterns) == 2
+
+    def test_empty_db(self):
+        assert prefixspan_mine(SequenceDatabase([]), 0.5) == []
+
+    def test_supports_exact(self):
+        db = paper_db()
+        for p in prefixspan_mine(db, 0.25):
+            assert db.support_count(p.sequence) == p.count
+
+
+class TestProperties:
+    @given(my.databases(), my.minsups())
+    @RELAXED
+    def test_matches_bruteforce_frequent_set(self, db, minsup):
+        assert prefixspan_frequent_set(db, minsup) == brute_force_frequent(
+            db, minsup
+        )
+
+    @given(my.databases(), my.minsups())
+    @RELAXED
+    def test_maximal_matches_core_miner(self, db, minsup):
+        """Two algorithm families, zero shared mining code — same answer."""
+        ps = prefixspan_mine(db, minsup, maximal=True)
+        core = mine_sequential_patterns(db, minsup).patterns
+        assert [(p.sequence, p.count) for p in ps] == [
+            (p.sequence, p.count) for p in core
+        ]
+
+    @given(my.databases(max_customers=4), my.minsups())
+    @RELAXED
+    def test_capped_matches_bruteforce(self, db, minsup):
+        capped = prefixspan_mine(db, minsup, max_pattern_length=2)
+        expected = {
+            seq: count
+            for seq, count in brute_force_frequent(db, minsup).items()
+            if seq.length <= 2
+        }
+        assert {p.sequence: p.count for p in capped} == expected

@@ -1,0 +1,57 @@
+"""Tests for raw transaction records."""
+
+import pytest
+
+from repro.db.records import RecordError, Transaction, merge_transactions
+
+
+class TestTransaction:
+    def test_items_canonicalized(self):
+        t = Transaction(customer_id=1, transaction_time=5, items=(3, 1, 1))
+        assert t.items == (1, 3)
+
+    def test_ordering_is_sort_phase_key(self):
+        rows = [
+            Transaction(2, 1, (1,)),
+            Transaction(1, 9, (1,)),
+            Transaction(1, 2, (1,)),
+        ]
+        assert [(t.customer_id, t.transaction_time) for t in sorted(rows)] == [
+            (1, 2),
+            (1, 9),
+            (2, 1),
+        ]
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(RecordError):
+            Transaction(1, 1, ())
+
+    def test_non_int_customer_rejected(self):
+        with pytest.raises(RecordError):
+            Transaction("x", 1, (1,))
+
+    def test_non_int_time_rejected(self):
+        with pytest.raises(RecordError):
+            Transaction(1, 1.5, (1,))
+
+    def test_bool_customer_rejected(self):
+        with pytest.raises(RecordError):
+            Transaction(True, 1, (1,))
+
+    def test_frozen(self):
+        t = Transaction(1, 1, (1,))
+        with pytest.raises(AttributeError):
+            t.customer_id = 2
+
+
+class TestMerge:
+    def test_merges_item_union(self):
+        a = Transaction(1, 3, (1, 2))
+        b = Transaction(1, 3, (2, 5))
+        assert merge_transactions(a, b).items == (1, 2, 5)
+
+    def test_rejects_different_keys(self):
+        with pytest.raises(RecordError):
+            merge_transactions(Transaction(1, 3, (1,)), Transaction(1, 4, (1,)))
+        with pytest.raises(RecordError):
+            merge_transactions(Transaction(1, 3, (1,)), Transaction(2, 3, (1,)))

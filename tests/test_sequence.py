@@ -1,0 +1,291 @@
+"""Unit and property tests for the sequence algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sequence import (
+    OccurrenceIndex,
+    Sequence,
+    SequenceFormatError,
+    earliest_end_index,
+    format_sequence,
+    id_sequence_contains,
+    is_proper_subsequence,
+    itemset_contains,
+    latest_start_index,
+    make_itemset,
+    parse_sequence,
+    sequence_contains,
+)
+from tests import strategies as my
+
+
+class TestMakeItemset:
+    def test_sorts_and_dedupes(self):
+        assert make_itemset([3, 1, 2, 1]) == (1, 2, 3)
+
+    def test_singleton(self):
+        assert make_itemset([5]) == (5,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_itemset([])
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValueError):
+            make_itemset(["a"])
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            make_itemset([True])
+
+
+class TestItemsetContains:
+    def test_subset(self):
+        assert itemset_contains((1, 2, 3), (1, 3))
+
+    def test_not_subset(self):
+        assert not itemset_contains((1, 2), (1, 3))
+
+    def test_empty_subset_always_contained(self):
+        assert itemset_contains((1,), ())
+
+    def test_accepts_sets(self):
+        assert itemset_contains(frozenset({1, 2}), (2,))
+
+
+class TestSequenceType:
+    def test_events_canonicalized(self):
+        seq = Sequence([[3, 1], [2]])
+        assert seq.events == ((1, 3), (2,))
+
+    def test_length_counts_itemsets(self):
+        assert Sequence([[1, 2], [3]]).length == 2
+
+    def test_size_counts_items(self):
+        assert Sequence([[1, 2], [3]]).size == 3
+
+    def test_items_flattened(self):
+        assert Sequence([[1, 2], [2, 3]]).items() == frozenset({1, 2, 3})
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence([])
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence([[1], []])
+
+    def test_equality_and_hash(self):
+        assert Sequence([[1, 2]]) == Sequence([[2, 1]])
+        assert hash(Sequence([[1, 2]])) == hash(Sequence([[2, 1]]))
+        assert Sequence([[1], [2]]) != Sequence([[1, 2]])
+
+    def test_ordering_by_length_then_lex(self):
+        assert Sequence([[9]]) < Sequence([[1], [1]])
+        assert Sequence([[1], [2]]) < Sequence([[1], [3]])
+
+    def test_concat(self):
+        assert Sequence([[1]]).concat(Sequence([[2]])) == Sequence([[1], [2]])
+
+    def test_drop_event(self):
+        assert Sequence([[1], [2], [3]]).drop_event(1) == Sequence([[1], [3]])
+
+    def test_drop_only_event_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence([[1]]).drop_event(0)
+
+    def test_indexing_and_iter(self):
+        seq = Sequence([[1], [2, 3]])
+        assert seq[1] == (2, 3)
+        assert list(seq) == [(1,), (2, 3)]
+        assert len(seq) == 2
+
+
+class TestSequenceContains:
+    """Examples straight from the paper's Section 2 discussion."""
+
+    def test_paper_example_positive(self):
+        # <(3)(4 5)(8)> is contained in <(7)(3 8)(9)(4 5 6)(8)>
+        container = [(7,), (3, 8), (9,), (4, 5, 6), (8,)]
+        pattern = [(3,), (4, 5), (8,)]
+        assert sequence_contains(container, pattern)
+
+    def test_paper_example_negative(self):
+        # <(3)(5)> is NOT contained in <(3 5)> — order needs two events.
+        assert not sequence_contains([(3, 5)], [(3,), (5,)])
+
+    def test_event_subset_matching(self):
+        assert sequence_contains([(1, 2), (3, 4)], [(1,), (3,)])
+
+    def test_same_length_strict_containment(self):
+        # Containment between equal-length sequences via event subsets.
+        assert sequence_contains([(1, 2), (3,)], [(1,), (3,)])
+
+    def test_order_matters(self):
+        assert not sequence_contains([(2,), (1,)], [(1,), (2,)])
+
+    def test_repeated_events_consume_positions(self):
+        assert sequence_contains([(1,), (1,)], [(1,), (1,)])
+        assert not sequence_contains([(1,)], [(1,), (1,)])
+
+    def test_empty_pattern_trivially_contained(self):
+        assert sequence_contains([(1,)], [])
+
+    def test_pattern_longer_than_container(self):
+        assert not sequence_contains([(1,)], [(1,), (1,), (1,)])
+
+    def test_is_proper_subsequence_excludes_equal(self):
+        assert not is_proper_subsequence([(1,), (2,)], [(1,), (2,)])
+        assert is_proper_subsequence([(1,)], [(1,), (2,)])
+
+    @given(my.sequences())
+    def test_reflexive(self, seq):
+        assert sequence_contains(seq.events, seq.events)
+
+    @given(my.sequences(), st.data())
+    def test_dropping_an_event_gives_subsequence(self, seq, data):
+        if seq.length < 2:
+            return
+        index = data.draw(st.integers(0, seq.length - 1))
+        smaller = seq.drop_event(index)
+        assert sequence_contains(seq.events, smaller.events)
+
+    @given(my.sequences(), my.sequences(), my.sequences())
+    def test_transitive(self, a, b, c):
+        if sequence_contains(b.events, a.events) and sequence_contains(
+            c.events, b.events
+        ):
+            assert sequence_contains(c.events, a.events)
+
+    @given(my.sequences(), my.sequences())
+    def test_antisymmetric(self, a, b):
+        if sequence_contains(a.events, b.events) and sequence_contains(
+            b.events, a.events
+        ):
+            assert a == b
+
+    @given(my.sequences(), my.sequences())
+    def test_concat_contains_both_parts_in_order(self, a, b):
+        combined = a.concat(b)
+        assert sequence_contains(combined.events, a.events)
+        assert sequence_contains(combined.events, b.events)
+
+
+class TestIdSequenceContains:
+    def test_membership_matching(self):
+        events = (frozenset({1, 2}), frozenset({3}))
+        assert id_sequence_contains((1, 3), events)
+        assert id_sequence_contains((2, 3), events)
+        assert not id_sequence_contains((3, 1), events)
+
+    def test_needs_distinct_events(self):
+        events = (frozenset({1, 2}),)
+        assert not id_sequence_contains((1, 2), events)
+
+    def test_repeated_ids(self):
+        events = (frozenset({1}), frozenset({1}))
+        assert id_sequence_contains((1, 1), events)
+        assert not id_sequence_contains((1, 1, 1), events)
+
+    @given(my.id_sequences(), my.id_event_sequences())
+    def test_greedy_matches_bruteforce(self, pattern, events):
+        from itertools import combinations
+
+        def brute(pattern, events):
+            for positions in combinations(range(len(events)), len(pattern)):
+                if all(p in events[i] for p, i in zip(pattern, positions)):
+                    return True
+            return False
+
+        assert id_sequence_contains(pattern, events) == brute(pattern, events)
+
+
+class TestEndpointMatchers:
+    def test_earliest_end(self):
+        events = (frozenset({1}), frozenset({2}), frozenset({2}))
+        assert earliest_end_index((1, 2), events) == 1
+
+    def test_latest_start(self):
+        events = (frozenset({1}), frozenset({1}), frozenset({2}))
+        assert latest_start_index((1, 2), events) == 1
+
+    def test_not_contained_returns_none(self):
+        events = (frozenset({1}),)
+        assert earliest_end_index((2,), events) is None
+        assert latest_start_index((2,), events) is None
+
+    @given(my.id_sequences(max_length=3), my.id_event_sequences())
+    def test_endpoints_bound_each_other(self, pattern, events):
+        end = earliest_end_index(pattern, events)
+        start = latest_start_index(pattern, events)
+        assert (end is None) == (start is None)
+        if end is not None:
+            # earliest match ends no later than the latest match ends;
+            # both matches span at least len(pattern) - 1 events.
+            assert end >= len(pattern) - 1
+            assert start <= len(events) - len(pattern) + 1
+            assert id_sequence_contains(pattern, events)
+
+    @given(my.id_sequences(max_length=2), my.id_sequences(max_length=2),
+           my.id_event_sequences())
+    def test_concatenation_criterion(self, head, tail, events):
+        """x.y ⊆ d  ⇔  earliest_end(x) < latest_start(y)."""
+        end = earliest_end_index(head, events)
+        start = latest_start_index(tail, events)
+        joined = id_sequence_contains(head + tail, events)
+        criterion = end is not None and start is not None and end < start
+        assert joined == criterion
+
+
+class TestOccurrenceIndex:
+    def test_positions(self):
+        events = (frozenset({1, 2}), frozenset({2}), frozenset({1}))
+        index = OccurrenceIndex(events)
+        assert index.positions[1] == [0, 2]
+        assert index.positions[2] == [0, 1]
+        assert index.num_events == 3
+
+    def test_first_after(self):
+        events = (frozenset({1}), frozenset({2}), frozenset({1}))
+        index = OccurrenceIndex(events)
+        assert index.first_after(1, -1) == 0
+        assert index.first_after(1, 0) == 2
+        assert index.first_after(1, 2) is None
+        assert index.first_after(99, -1) is None
+
+    @given(my.id_sequences(), my.id_event_sequences())
+    def test_index_walk_equals_direct_containment(self, pattern, events):
+        index = OccurrenceIndex(events)
+        pos = -1
+        contained = True
+        for wanted in pattern:
+            pos = index.first_after(wanted, pos)
+            if pos is None:
+                contained = False
+                break
+        assert contained == id_sequence_contains(pattern, events)
+
+
+class TestParsingAndFormatting:
+    def test_format(self):
+        assert format_sequence(Sequence([[30], [40, 70]])) == "<(30)(40 70)>"
+
+    def test_parse(self):
+        assert parse_sequence("<(30) (40 70)>") == Sequence([[30], [40, 70]])
+
+    def test_parse_commas(self):
+        assert parse_sequence("<(1,2)(3)>") == Sequence([[1, 2], [3]])
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "30", "<>", "<()>", "<(a)>", "<(1) junk (2)>", "(1)(2)"],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(SequenceFormatError):
+            parse_sequence(bad)
+
+    @given(my.sequences(max_item=99))
+    def test_roundtrip(self, seq):
+        assert parse_sequence(format_sequence(seq)) == seq

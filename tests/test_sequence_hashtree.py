@@ -1,0 +1,149 @@
+"""Tests for the sequence hash tree and the counting engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting import count_candidates, count_length2, filter_large
+from repro.core.hashtree import SequenceHashTree
+from repro.core.sequence import OccurrenceIndex, id_sequence_contains
+from tests import strategies as my
+
+
+def naive_contained(candidates, events):
+    return {c for c in candidates if id_sequence_contains(c, events)}
+
+
+class TestTreeBasics:
+    def test_empty(self):
+        tree = SequenceHashTree()
+        assert len(tree) == 0
+        assert tree.sequence_length is None
+        events = (frozenset({1}),)
+        assert tree.contained_in(OccurrenceIndex(events)) == set()
+
+    def test_insert_and_lookup(self):
+        tree = SequenceHashTree([(1, 2), (2, 1), (1, 1)])
+        events = (frozenset({1}), frozenset({2}))
+        assert tree.contained_in(OccurrenceIndex(events)) == {(1, 2)}
+
+    def test_rejects_mixed_lengths(self):
+        tree = SequenceHashTree([(1, 2)])
+        with pytest.raises(ValueError):
+            tree.insert((1, 2, 3))
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError):
+            SequenceHashTree([()])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SequenceHashTree(leaf_capacity=0)
+        with pytest.raises(ValueError):
+            SequenceHashTree(branch_factor=1)
+
+    def test_iter_returns_all(self):
+        candidates = [(i, j) for i in range(1, 8) for j in range(1, 8)]
+        tree = SequenceHashTree(candidates, leaf_capacity=2, branch_factor=3)
+        assert sorted(tree) == sorted(candidates)
+
+    def test_split_depth_capped_at_length(self):
+        # Ten identical-hash 1-sequences cannot split below depth 1.
+        tree = SequenceHashTree(
+            [(i * 5,) for i in range(1, 11)], leaf_capacity=2, branch_factor=5
+        )
+        events = (frozenset({5, 10}),)
+        assert tree.contained_in(OccurrenceIndex(events)) == {(5,), (10,)}
+
+    def test_hash_collisions_verified_exactly(self):
+        # ids 1 and 4 collide mod 3; (4, 2) must not be reported for a
+        # customer containing only 1-then-2.
+        tree = SequenceHashTree([(1, 2), (4, 2)], branch_factor=3, leaf_capacity=1)
+        events = (frozenset({1}), frozenset({2}))
+        assert tree.contained_in(OccurrenceIndex(events)) == {(1, 2)}
+
+    def test_position_constraint_respected(self):
+        # (2, 1) requires a 1 strictly after a 2.
+        tree = SequenceHashTree([(2, 1)])
+        assert tree.contained_in(
+            OccurrenceIndex((frozenset({1}), frozenset({2})))
+        ) == set()
+        assert tree.contained_in(
+            OccurrenceIndex((frozenset({2}), frozenset({1}),))
+        ) == {(2, 1)}
+
+    @given(
+        st.sets(my.id_sequences(max_id=6, max_length=3), max_size=40),
+        my.id_event_sequences(max_id=6),
+        st.integers(1, 3),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=100)
+    def test_matches_naive_filtering(self, candidates, events, leaf, branch):
+        candidates = {c for c in candidates if len(c) == 3}
+        tree = SequenceHashTree(candidates, leaf_capacity=leaf, branch_factor=branch)
+        index = OccurrenceIndex(events)
+        assert tree.contained_in(index) == naive_contained(candidates, events)
+
+
+class TestCounting:
+    def test_counts_customers_once(self):
+        sequences = [
+            (frozenset({1}), frozenset({2}), frozenset({1}), frozenset({2})),
+            (frozenset({1}),),
+        ]
+        counts = count_candidates(sequences, [(1, 2), (2, 2), (2, 1, 2)])
+        assert counts == {(1, 2): 1, (2, 2): 1, (2, 1, 2): 1}
+
+    def test_empty_candidates(self):
+        assert count_candidates([], []) == {}
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            count_candidates([], [(1,)], strategy="bogus")
+
+    def test_filter_large(self):
+        counts = {(1,): 3, (2,): 1}
+        assert filter_large(counts, 2) == {(1,): 3}
+
+    @given(
+        st.lists(my.id_event_sequences(max_id=5), max_size=6),
+        st.sets(my.id_sequences(max_id=5, max_length=2), max_size=25),
+    )
+    @settings(max_examples=80)
+    def test_strategies_agree(self, sequences, candidates):
+        candidates = {c for c in candidates if len(c) == 2}
+        fast = count_candidates(sequences, candidates, strategy="hashtree")
+        slow = count_candidates(sequences, candidates, strategy="naive")
+        assert fast == slow
+
+
+class TestCountLength2:
+    def test_simple(self):
+        sequences = [
+            (frozenset({1}), frozenset({2})),
+            (frozenset({1, 2}), frozenset({2})),
+        ]
+        counts = count_length2(sequences)
+        assert counts == {(1, 2): 2, (2, 2): 1}
+
+    def test_within_event_pairs_not_counted(self):
+        counts = count_length2([(frozenset({1, 2}),)])
+        assert counts == {}
+
+    def test_self_pairs(self):
+        counts = count_length2([(frozenset({3}), frozenset({3}))])
+        assert counts == {(3, 3): 1}
+
+    @given(st.lists(my.id_event_sequences(max_id=5), max_size=6))
+    @settings(max_examples=80)
+    def test_matches_generic_engine_over_all_pairs(self, sequences):
+        """The fast path must agree with the generic engine on the fully
+        materialized C_2 (all ordered id pairs)."""
+        alphabet = sorted({i for seq in sequences for ev in seq for i in ev})
+        all_pairs = [(a, b) for a in alphabet for b in alphabet]
+        generic = count_candidates(sequences, all_pairs, strategy="naive")
+        fast = count_length2(sequences)
+        for pair in all_pairs:
+            assert fast.get(pair, 0) == generic[pair]
+        assert set(fast) <= set(all_pairs)
