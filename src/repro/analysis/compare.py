@@ -9,7 +9,7 @@ pattern length vs. uncapped).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.core.miner import MiningResult, Pattern
 from repro.core.sequence import Sequence

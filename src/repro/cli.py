@@ -16,6 +16,7 @@ from typing import Sequence as PySequence
 
 from repro.analysis.compare import pattern_length_histogram
 from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database
 from repro.datagen.params import SyntheticParams
 from repro.db.database import SequenceDatabase
@@ -61,6 +62,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         dynamic_step=args.dynamic_step,
         max_pattern_length=args.max_length,
+        counting=CountingOptions(
+            workers=args.workers, chunk_size=args.chunk_size
+        ),
     )
     result = mine(db, params)
     print(result.summary(), file=sys.stderr)
@@ -134,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default="aprioriall")
     mine_cmd.add_argument("--dynamic-step", type=int, default=2)
     mine_cmd.add_argument("--max-length", type=int, default=None)
+    mine_cmd.add_argument("--workers", type=int, default=1,
+                          help="worker processes for support counting "
+                          "(1 = serial, 0 = all CPUs)")
+    mine_cmd.add_argument("--chunk-size", type=int, default=None,
+                          help="customers per counting shard "
+                          "(default: one shard per worker)")
     mine_cmd.add_argument("--output", default=None,
                           help="write patterns to this file instead of stdout")
     mine_cmd.add_argument("--json", action="store_true",

@@ -62,7 +62,7 @@ def apriori_all(
             # C_2 is all |L_1|² ordered pairs; count occurring pairs
             # directly instead of materializing them (see count_length2).
             num_candidates = len(l1) * len(l1)
-            counts = count_length2(tdb.sequences)
+            counts = count_length2(tdb.sequences, **counting.sharding_kwargs())
         else:
             candidates = apriori_generate(result.large_by_length[k - 1].keys())
             num_candidates = len(candidates)

@@ -111,7 +111,7 @@ def apriori_some(
             # ordered pairs — use the occurring-pairs fast path instead of
             # materializing them (see count_length2).
             started = time.perf_counter()
-            counts = count_length2(tdb.sequences)
+            counts = count_length2(tdb.sequences, **counting.sharding_kwargs())
             num_candidates = len(l1) * len(l1)
             candidates = sorted(counts)
         else:

@@ -13,6 +13,15 @@ strategies are provided:
   implementation and as the baseline of the counting ablation bench.
 
 Both return identical counts (a property test enforces this).
+
+Either strategy can run sharded-parallel: with ``workers > 1`` (or
+``workers=0`` for all CPUs) the pass is routed through
+:mod:`repro.parallel`, which partitions the customers into disjoint
+shards, counts each shard in a ``multiprocessing`` worker, and sums the
+per-shard counts — exact, because customer support is additive across
+disjoint customer partitions. ``chunk_size`` optionally fixes the number
+of customers per shard (default: one near-equal shard per worker).
+``workers=1`` is the serial engine, in-process, no pool.
 """
 
 from __future__ import annotations
@@ -38,12 +47,28 @@ def count_candidates(
     strategy: CountingStrategy = "hashtree",
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
     branch_factor: int = DEFAULT_BRANCH_FACTOR,
+    workers: int = 1,
+    chunk_size: int | None = None,
 ) -> dict[IdSequence, int]:
     """Count customer support of every candidate in one database pass.
 
     Returns a dict holding a count for *every* candidate (zero included),
     so callers can filter against a threshold without ``.get`` defaults.
+    With ``workers != 1`` the pass runs sharded-parallel (see module
+    docstring); the counts are identical either way.
     """
+    if workers != 1:
+        from repro.parallel.executor import parallel_count_candidates
+
+        return parallel_count_candidates(
+            sequences,
+            candidates,
+            workers=workers,
+            chunk_size=chunk_size,
+            strategy=strategy,
+            leaf_capacity=leaf_capacity,
+            branch_factor=branch_factor,
+        )
     counts: dict[IdSequence, int] = {candidate: 0 for candidate in candidates}
     if not counts:
         return counts
@@ -83,7 +108,12 @@ def filter_large(
     return {seq: count for seq, count in counts.items() if count >= threshold}
 
 
-def count_length2(sequences: TransformedSequences) -> dict[IdSequence, int]:
+def count_length2(
+    sequences: TransformedSequences,
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> dict[IdSequence, int]:
     """Fast path for the length-2 pass.
 
     ``C_2`` is all |L_1|² ordered id pairs (every litemset is a large
@@ -95,8 +125,15 @@ def count_length2(sequences: TransformedSequences) -> dict[IdSequence, int]:
     the analytic |L_1|² as the candidate count.
 
     Equivalence with the generic engine over the materialized ``C_2`` is
-    enforced by a property test.
+    enforced by a property test. ``workers``/``chunk_size`` shard the pass
+    exactly as in :func:`count_candidates`.
     """
+    if workers != 1:
+        from repro.parallel.executor import parallel_count_length2
+
+        return parallel_count_length2(
+            sequences, workers=workers, chunk_size=chunk_size
+        )
     counts: dict[IdSequence, int] = {}
     for events in sequences:
         seen: set[IdSequence] = set()

@@ -107,7 +107,7 @@ def dynamic_some(
         started = time.perf_counter()
         if k == 2:
             # Occurring-pairs fast path; C_2 is all |L_1|² ordered pairs.
-            counts = count_length2(tdb.sequences)
+            counts = count_length2(tdb.sequences, **counting.sharding_kwargs())
             num_candidates = len(l1) * len(l1)
             candidates = sorted(counts)
         else:

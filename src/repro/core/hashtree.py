@@ -12,6 +12,15 @@ exactly, so hash collisions cannot yield false positives.
 
 All candidates in one tree have equal length (the sequence phase counts
 one candidate length per pass), which keeps splitting simple.
+
+Leaves may exceed ``leaf_capacity``: a bucket splits only if hashing at
+some remaining depth actually spreads it over more than one child.
+A bucket whose candidates collide at *every* remaining depth — always
+when a leaf sits at maximum depth, and also for pathological id sets
+under a small ``branch_factor`` — stays an over-full leaf rather than
+growing a useless chain of single-child nodes. This is safe for
+correctness (leaves verify every candidate exactly); only probe fan-out
+degrades, and only for buckets no amount of splitting could separate.
 """
 
 from __future__ import annotations
@@ -25,11 +34,16 @@ DEFAULT_BRANCH_FACTOR = 32
 
 
 class _Node:
-    __slots__ = ("children", "bucket")
+    __slots__ = ("children", "bucket", "unspreadable")
 
     def __init__(self) -> None:
         self.children: dict[int, _Node] | None = None  # None ⇒ leaf
         self.bucket: list[IdSequence] = []
+        # True ⇒ proven that every bucket entry hashes identically at
+        # every remaining depth, so no split could spread it. Caches the
+        # O(bucket × depth) spread scan: once set, each further insert
+        # only compares the new candidate against bucket[0].
+        self.unspreadable = False
 
     @property
     def is_leaf(self) -> bool:
@@ -85,8 +99,42 @@ class SequenceHashTree:
             depth += 1
         node.bucket.append(candidate)
         self._size += 1
-        if len(node.bucket) > self._leaf_capacity and depth < self._length:
-            self._split(node, depth)
+        if len(node.bucket) <= self._leaf_capacity:
+            return
+        if node.unspreadable:
+            # The pre-existing bucket is hash-uniform at every remaining
+            # depth; only the newcomer can change that — an O(depth)
+            # check instead of rescanning the whole bucket.
+            if self._hash_uniform_with(node.bucket[0], candidate, depth):
+                return
+            node.unspreadable = False
+        elif not self._can_spread(node.bucket, depth):
+            node.unspreadable = True
+            return
+        self._split(node, depth)
+
+    def _hash_uniform_with(
+        self, reference: IdSequence, candidate: IdSequence, depth: int
+    ) -> bool:
+        """True iff ``candidate`` hashes like ``reference`` at every
+        remaining depth (so adding it cannot make the bucket spreadable)."""
+        return all(
+            self._hash(candidate[d]) == self._hash(reference[d])
+            for d in range(depth, self._length or 0)
+        )
+
+    def _can_spread(self, bucket: list[IdSequence], depth: int) -> bool:
+        """True iff hashing at some depth ``>= depth`` separates ``bucket``.
+
+        When False, splitting could only produce a chain of single-child
+        nodes ending in the same over-full leaf, so the leaf is kept as
+        is (see module docstring). Trivially False at maximum depth.
+        """
+        for d in range(depth, self._length or 0):
+            first = self._hash(bucket[0][d])
+            if any(self._hash(candidate[d]) != first for candidate in bucket):
+                return True
+        return False
 
     def _split(self, node: _Node, depth: int) -> None:
         bucket = node.bucket
@@ -95,10 +143,12 @@ class SequenceHashTree:
         for candidate in bucket:
             child = node.children.setdefault(self._hash(candidate[depth]), _Node())
             child.bucket.append(candidate)
-        if depth + 1 < (self._length or 0):
-            for child in node.children.values():
-                if len(child.bucket) > self._leaf_capacity:
+        for child in node.children.values():
+            if len(child.bucket) > self._leaf_capacity:
+                if self._can_spread(child.bucket, depth + 1):
                     self._split(child, depth + 1)
+                else:
+                    child.unspreadable = True
 
     def contained_in(self, index: OccurrenceIndex) -> set[IdSequence]:
         """All stored candidates contained in the customer sequence behind

@@ -21,18 +21,43 @@ from repro.core.stats import AlgorithmStats
 
 @dataclass(frozen=True, slots=True)
 class CountingOptions:
-    """Knobs of the support-counting engine, threaded through every pass."""
+    """Knobs of the support-counting engine, threaded through every pass.
+
+    ``workers`` selects the sharded-parallel executor: ``1`` (default)
+    counts serially in-process, ``N > 1`` partitions the customers into
+    shards counted by ``N`` worker processes, and ``0`` means one worker
+    per CPU. ``chunk_size`` optionally fixes the customers-per-shard
+    (default: one near-equal shard per worker). Counts are identical for
+    every setting; only wall-clock time changes. See
+    :mod:`repro.parallel`.
+    """
 
     strategy: CountingStrategy = "hashtree"
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY
     branch_factor: int = DEFAULT_BRANCH_FACTOR
+    workers: int = 1
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
     def kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.core.counting.count_candidates`."""
         return {
             "strategy": self.strategy,
             "leaf_capacity": self.leaf_capacity,
             "branch_factor": self.branch_factor,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
         }
+
+    def sharding_kwargs(self) -> dict:
+        """Keyword arguments for passes that only shard (no strategy knobs),
+        like :func:`repro.core.counting.count_length2`."""
+        return {"workers": self.workers, "chunk_size": self.chunk_size}
 
 
 @dataclass(slots=True)

@@ -247,13 +247,22 @@ def mine_time_constrained(
     constraints: TimeConstraints = TimeConstraints(),
     *,
     max_pattern_length: int | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
 ) -> list[Pattern]:
     """Find **all** frequent sequences under GSP-style time constraints.
 
     Returns patterns sorted deterministically, each with its exact
     constrained support. With default constraints, the result equals the
     full set of large sequences of the unconstrained problem.
+
+    ``workers``/``chunk_size`` shard the candidate-containment pass over
+    customer partitions exactly as in the core pipeline (``workers=1``
+    serial, ``N > 1`` that many processes, ``0`` all CPUs); the counts
+    are identical for every setting.
     """
+    from repro.parallel.executor import parallel_count_timed
+
     sequences = build_timed_sequences(transactions)
     num_customers = len(sequences)
     if num_customers == 0:
@@ -263,9 +272,6 @@ def mine_time_constrained(
     litemsets = find_windowed_litemsets(
         sequences, threshold, constraints.window_size
     )
-    alphabet: list[EventTuple] = [
-        (frozenset(itemset),) for itemset in sorted(litemsets, key=lambda s: (len(s), s))
-    ]
     supports: dict[EventTuple, int] = {
         (frozenset(itemset),): count for itemset, count in litemsets.items()
     }
@@ -276,11 +282,13 @@ def mine_time_constrained(
         candidates = _join_event_sequences(current)
         if not candidates:
             break
-        counts: dict[EventTuple, int] = {c: 0 for c in candidates}
-        for events in sequences:
-            for candidate in candidates:
-                if contains_timed(events, candidate, constraints):
-                    counts[candidate] += 1
+        counts: dict[EventTuple, int] = parallel_count_timed(
+            sequences,
+            candidates,
+            constraints,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
         current = [c for c in candidates if counts[c] >= threshold]
         for candidate in current:
             supports[candidate] = counts[candidate]

@@ -65,11 +65,17 @@ def read_spmf(source: str | Path | TextIO) -> SequenceDatabase:
     """Read an SPMF sequence file into a :class:`SequenceDatabase`.
 
     Blank lines, comment lines (starting with ``#``, ``%`` or ``@`` as in
-    SPMF's own datasets) and empty sequences are skipped.
+    SPMF's own datasets) and empty sequences are skipped. Error messages
+    cite *physical* line numbers — skipped lines still advance the count,
+    so the number always matches the source file — and, when reading from
+    a path, name the file.
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
-            return read_spmf(handle)
+            try:
+                return read_spmf(handle)
+            except SpmfFormatError as exc:
+                raise SpmfFormatError(f"{source}: {exc}") from None
     customers: list[CustomerSequence] = []
     next_id = 1
     for line_number, line in enumerate(source, start=1):

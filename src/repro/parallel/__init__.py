@@ -1,0 +1,41 @@
+"""Sharded parallel support counting.
+
+The dominant cost of the sequence phase is the counting pass: one scan of
+the transformed database per candidate length. Customer support is
+*additive across disjoint customer partitions* — a customer contributes at
+most 1 to each candidate, and each customer lives in exactly one shard —
+so a counting pass parallelizes embarrassingly: partition the customers
+into shards, count every shard independently, and sum the per-shard count
+dicts. This package provides that machinery:
+
+* :mod:`repro.parallel.sharding` — pure partition/merge helpers (no
+  processes involved), property-tested on their own.
+* :mod:`repro.parallel.executor` — a ``multiprocessing`` pool that runs
+  one counting function per shard, building per-worker state (hash tree,
+  candidate list) once per worker instead of once per shard.
+
+Callers normally do not import this package directly: passing
+``workers > 1`` through :class:`repro.core.phase.CountingOptions` (or the
+CLI's ``--workers``) routes every counting pass of every algorithm —
+AprioriAll, AprioriSome, DynamicSome, and the time-constrained miner —
+through the shard executor. Parallel counts are bit-identical to serial
+counts; the equivalence is enforced by tests.
+"""
+
+from repro.parallel.executor import (
+    parallel_count_candidates,
+    parallel_count_length2,
+    parallel_count_timed,
+    resolve_workers,
+)
+from repro.parallel.sharding import merge_counts, partition, shard_bounds
+
+__all__ = [
+    "merge_counts",
+    "parallel_count_candidates",
+    "parallel_count_length2",
+    "parallel_count_timed",
+    "partition",
+    "resolve_workers",
+    "shard_bounds",
+]

@@ -1,0 +1,238 @@
+"""Process-pool execution of sharded counting passes.
+
+One pool is spawned per counting pass. Per-pass state that every shard
+needs — the candidate list (from which each worker rebuilds its hash
+tree), the counting strategy, or the time constraints — is shipped to
+each worker exactly *once*, through the pool initializer, rather than
+once per shard. A shard task carries only its ``(start, stop)`` customer
+bounds: under the ``fork`` start method (preferred whenever the platform
+offers it) the workers inherit the parent's sequence list copy-on-write,
+so no sequence data is pickled at all; under ``spawn`` the sequences ride
+along in the initializer, once per worker. Either way a task returns a
+sparse ``{candidate: count}`` dict (zero counts are dropped on the wire
+and restored in the merge).
+
+The worker entry points are module-level functions so they are picklable
+under every ``multiprocessing`` start method.
+
+Serial equivalence (the tests' contract): for any database, candidate
+set, worker count, and strategy, the merged counts equal the serial
+engine's output exactly. ``workers == 1`` (or a single shard) never
+spawns a pool at all — it falls through to the serial engine in-process.
+
+Passes hand their state to forked workers through module globals
+(``_SEQUENCES``/``_STATE``), so at most one counting pass may be in
+flight per parent process at a time. The library itself always counts
+one pass at a time and scales *within* a pass via this executor; callers
+wanting concurrent mining runs should use separate processes, not
+threads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Collection, Sequence as PySequence
+
+from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
+from repro.parallel.sharding import merge_counts, shard_bounds
+
+#: The sequence list of the pass in flight. In the parent it is set just
+#: before the pool forks (children inherit it copy-on-write) and cleared
+#: after the pass; in a spawned worker the initializer assigns it.
+_SEQUENCES = None
+
+#: Per-pass worker state installed by the pool initializer, keyed by the
+#: kind of counting pass.
+_STATE: dict = {}
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count knob: ``0``/``None`` means all CPUs."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _context():
+    # Prefer fork only on Linux: it is the platform default there and
+    # lets workers inherit the database copy-on-write. macOS lists fork
+    # too, but CPython made spawn its default because forking a process
+    # whose system libraries have started threads is unsafe — respect
+    # the platform default everywhere else.
+    if sys.platform.startswith("linux"):
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+    return multiprocessing.get_context(None)
+
+
+def _pool(context, workers: int, initargs: tuple):
+    """Create the worker pool (separated out so tests can intercept it)."""
+    return context.Pool(
+        processes=workers, initializer=_init_worker, initargs=initargs
+    )
+
+
+def _init_worker(sequences, kind: str, state: tuple) -> None:
+    global _SEQUENCES
+    if sequences is not None:  # spawn/forkserver: data arrives here
+        _SEQUENCES = sequences
+    _STATE[kind] = state
+
+
+def _run_sharded(sequences, workers: int, chunk_size: int | None,
+                 kind: str, state: tuple, task) -> list[dict]:
+    """Map ``task`` over customer-shard bounds in a fresh worker pool."""
+    global _SEQUENCES
+    bounds = shard_bounds(len(sequences), workers, chunk_size)
+    workers = min(workers, len(bounds))  # never spawn idle processes
+    context = _context()
+    ship = context.get_start_method() != "fork"
+    _SEQUENCES = sequences
+    try:
+        initargs = (sequences if ship else None, kind, state)
+        with _pool(context, workers, initargs) as pool:
+            return pool.map(task, bounds)
+    finally:
+        _SEQUENCES = None
+
+
+# --- Generic candidate counting (hashtree / naive strategies) -----------
+
+
+def _count_shard(bounds: tuple[int, int]) -> dict:
+    from repro.core.counting import count_candidates
+
+    candidates, strategy, leaf_capacity, branch_factor = _STATE["count"]
+    counts = count_candidates(
+        _SEQUENCES[bounds[0] : bounds[1]],
+        candidates,
+        strategy=strategy,
+        leaf_capacity=leaf_capacity,
+        branch_factor=branch_factor,
+    )
+    return {candidate: count for candidate, count in counts.items() if count}
+
+
+def parallel_count_candidates(
+    sequences,
+    candidates: Collection,
+    *,
+    workers: int = 0,
+    chunk_size: int | None = None,
+    strategy: str = "hashtree",
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    branch_factor: int = DEFAULT_BRANCH_FACTOR,
+) -> dict:
+    """Sharded-parallel equivalent of :func:`repro.core.counting.count_candidates`.
+
+    Returns a count for every candidate (zeros included) in the same
+    insertion order as the serial engine.
+    """
+    from repro.core.counting import count_candidates
+
+    workers = resolve_workers(workers)
+    base = {candidate: 0 for candidate in candidates}
+    if (
+        not base
+        or not sequences
+        or workers == 1
+        or len(shard_bounds(len(sequences), workers, chunk_size)) == 1
+    ):
+        return count_candidates(
+            sequences,
+            base,
+            strategy=strategy,  # type: ignore[arg-type]
+            leaf_capacity=leaf_capacity,
+            branch_factor=branch_factor,
+        )
+    state = (list(base), strategy, leaf_capacity, branch_factor)
+    per_shard = _run_sharded(
+        sequences, workers, chunk_size, "count", state, _count_shard
+    )
+    return merge_counts(per_shard, base=base)
+
+
+# --- Length-2 fast path -------------------------------------------------
+
+
+def _count_length2_shard(bounds: tuple[int, int]) -> dict:
+    from repro.core.counting import count_length2
+
+    return count_length2(_SEQUENCES[bounds[0] : bounds[1]])
+
+
+def parallel_count_length2(
+    sequences, *, workers: int = 0, chunk_size: int | None = None
+) -> dict:
+    """Sharded-parallel equivalent of :func:`repro.core.counting.count_length2`.
+
+    Like the serial fast path, returns counts for *occurring* pairs only.
+    """
+    from repro.core.counting import count_length2
+
+    workers = resolve_workers(workers)
+    if (
+        not sequences
+        or workers == 1
+        or len(shard_bounds(len(sequences), workers, chunk_size)) == 1
+    ):
+        return count_length2(sequences)
+    per_shard = _run_sharded(
+        sequences, workers, chunk_size, "length2", (), _count_length2_shard
+    )
+    return merge_counts(per_shard)
+
+
+# --- Time-constrained containment counting ------------------------------
+
+
+def _count_timed_shard(bounds: tuple[int, int]) -> dict:
+    from repro.extensions.timeconstraints import contains_timed
+
+    candidates, constraints = _STATE["timed"]
+    counts: dict = {}
+    for events in _SEQUENCES[bounds[0] : bounds[1]]:
+        for candidate in candidates:
+            if contains_timed(events, candidate, constraints):
+                counts[candidate] = counts.get(candidate, 0) + 1
+    return counts
+
+
+def parallel_count_timed(
+    sequences: PySequence,
+    candidates: Collection,
+    constraints,
+    *,
+    workers: int = 0,
+    chunk_size: int | None = None,
+) -> dict:
+    """Count constraint-aware support of every candidate over customer shards.
+
+    Parallel version of the candidate-containment loop of
+    :func:`repro.extensions.timeconstraints.mine_time_constrained`;
+    ``workers == 1`` runs the loop in-process without touching the
+    pool machinery.
+    """
+    from repro.extensions.timeconstraints import contains_timed
+
+    workers = resolve_workers(workers)
+    base = {candidate: 0 for candidate in candidates}
+    if not base or not sequences:
+        return base
+    if workers == 1 or len(shard_bounds(len(sequences), workers, chunk_size)) == 1:
+        counts = dict(base)
+        for events in sequences:
+            for candidate in counts:
+                if contains_timed(events, candidate, constraints):
+                    counts[candidate] += 1
+        return counts
+    per_shard = _run_sharded(
+        sequences, workers, chunk_size, "timed", (list(base), constraints),
+        _count_timed_shard,
+    )
+    return merge_counts(per_shard, base=base)

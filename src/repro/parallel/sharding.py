@@ -1,0 +1,80 @@
+"""Partitioning a customer database into shards, and merging shard counts.
+
+These helpers are deliberately process-free: they define *what* a sharded
+counting pass computes, independently of *how* it is executed. The
+executor (and the tests, which check parallel ≡ serial) build on exactly
+two facts established here:
+
+1. :func:`partition` splits the customer list into contiguous, disjoint,
+   covering shards — every customer appears in exactly one shard;
+2. :func:`merge_counts` sums per-shard dicts — valid because customer
+   support is additive over disjoint customer sets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence as PySequence, TypeVar
+
+T = TypeVar("T")
+
+#: Counts keyed by an arbitrary hashable candidate type.
+Counts = dict
+
+
+def shard_bounds(
+    num_items: int, num_shards: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Half-open ``(start, stop)`` index ranges covering ``0..num_items``.
+
+    With ``chunk_size`` set, every shard holds exactly that many items
+    (the last may be short) and ``num_shards`` is ignored; otherwise the
+    items are spread over ``num_shards`` near-equal shards (sizes differ
+    by at most one, large shards first). Empty shards are never returned.
+    """
+    if num_items < 0:
+        raise ValueError("num_items must be >= 0")
+    if num_items == 0:
+        return []
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        return [
+            (start, min(start + chunk_size, num_items))
+            for start in range(0, num_items, chunk_size)
+        ]
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    num_shards = min(num_shards, num_items)
+    base, extra = divmod(num_items, num_shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(num_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def partition(
+    items: PySequence[T], num_shards: int, chunk_size: int | None = None
+) -> list[PySequence[T]]:
+    """Split ``items`` into contiguous disjoint shards covering all items."""
+    return [
+        items[start:stop]
+        for start, stop in shard_bounds(len(items), num_shards, chunk_size)
+    ]
+
+
+def merge_counts(per_shard: PySequence[Counts], base: Counts | None = None) -> Counts:
+    """Sum per-shard count dicts.
+
+    ``base`` seeds the result (typically ``{candidate: 0 for ...}`` so the
+    merged dict has a key for every candidate, zeros included, in the same
+    insertion order as the serial engine); it is not mutated. Keys absent
+    from ``base`` are appended as encountered.
+    """
+    merged: Counts = dict(base) if base is not None else {}
+    for counts in per_shard:
+        for key, value in counts.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged

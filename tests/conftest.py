@@ -1,0 +1,33 @@
+"""Suite-wide test configuration: named Hypothesis profiles.
+
+Profiles are selected with ``HYPOTHESIS_PROFILE=<name>``:
+
+* ``default`` — Hypothesis defaults (local development).
+* ``ci`` — fewer examples, no deadline (process pools and shared CI
+  runners make wall-clock flaky), derandomized so CI failures reproduce.
+* ``fast`` — minimal examples for quick smoke runs.
+
+A profile only overrides settings a test does not pin explicitly; tests
+that declare ``@settings(max_examples=...)`` keep their own budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "fast",
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -66,6 +66,28 @@ class TestSpmf:
         with pytest.raises(SpmfFormatError):
             read_spmf(io.StringIO(bad + "\n"))
 
+    def test_error_reports_physical_line_number(self):
+        # Comment and blank lines are skipped but still advance the line
+        # counter, so the reported number matches the source file.
+        text = "# comment\n\n%meta\n1 -1 -2\n\n1 2 -2\n"
+        with pytest.raises(SpmfFormatError, match=r"line 6: itemset not closed"):
+            read_spmf(io.StringIO(text))
+
+    def test_trailing_line_without_terminator_reports_last_line(self):
+        text = "1 -1 -2\n# tail comment\n2 -1\n"
+        with pytest.raises(SpmfFormatError, match=r"line 3: missing -2"):
+            read_spmf(io.StringIO(text))
+
+    def test_trailing_line_without_newline_reports_last_line(self):
+        with pytest.raises(SpmfFormatError, match=r"line 2: missing -2"):
+            read_spmf(io.StringIO("1 -1 -2\n2 -1"))
+
+    def test_error_from_path_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.spmf"
+        path.write_text("# header\n1 -1 -2\nx -1 -2\n", encoding="utf-8")
+        with pytest.raises(SpmfFormatError, match=r"bad\.spmf: line 3: non-integer"):
+            read_spmf(path)
+
     def test_write_read_file_roundtrip(self, tmp_path):
         db = paper_db()
         path = tmp_path / "paper.spmf"

@@ -55,6 +55,64 @@ class TestTreeBasics:
         events = (frozenset({5, 10}),)
         assert tree.contained_in(OccurrenceIndex(events)) == {(5,), (10,)}
 
+    def test_all_colliding_bucket_stays_one_leaf(self):
+        # Every id ≡ 0 (mod 5) at every depth: no split can spread the
+        # bucket, so the root must stay a single (over-full) leaf instead
+        # of growing a chain of single-child nodes.
+        candidates = [(5, 10), (10, 5), (15, 20), (20, 15)]
+        tree = SequenceHashTree(candidates, leaf_capacity=2, branch_factor=5)
+        assert tree._root.is_leaf
+        assert sorted(tree._root.bucket) == sorted(candidates)
+        events = (frozenset({5, 15}), frozenset({10, 20}))
+        assert tree.contained_in(OccurrenceIndex(events)) == {(5, 10), (15, 20)}
+
+    def test_bucket_spreading_only_at_deeper_depth_still_splits(self):
+        # Colliding at depth 0 (all ≡ 0 mod 5) but spreading at depth 1:
+        # the split must pass through the colliding level and separate
+        # the bucket below it.
+        candidates = [(5, 1), (10, 2), (15, 3), (20, 4)]
+        tree = SequenceHashTree(candidates, leaf_capacity=2, branch_factor=5)
+        assert not tree._root.is_leaf
+        (child,) = tree._root.children.values()
+        assert not child.is_leaf and len(child.children) == 4
+        events = (frozenset({10}), frozenset({2}))
+        assert tree.contained_in(OccurrenceIndex(events)) == {(10, 2)}
+
+    def test_late_insert_can_unlock_a_split(self):
+        # Three colliding candidates keep the root a leaf; a fourth that
+        # hashes differently makes the bucket spreadable again.
+        tree = SequenceHashTree(leaf_capacity=2, branch_factor=5)
+        for candidate in [(5, 5), (10, 10), (15, 15)]:
+            tree.insert(candidate)
+        assert tree._root.is_leaf
+        tree.insert((7, 5))
+        assert not tree._root.is_leaf
+        events = (frozenset({5, 7}), frozenset({5}))
+        assert tree.contained_in(OccurrenceIndex(events)) == {(5, 5), (7, 5)}
+
+    @given(
+        st.sets(my.id_sequences(max_id=12, max_length=3), max_size=60),
+        st.integers(1, 2),
+        st.integers(2, 3),
+    )
+    @settings(max_examples=60)
+    def test_over_capacity_leaves_only_where_unspreadable(self, candidates, leaf, branch):
+        """Every over-capacity leaf holds a bucket no split could spread;
+        iteration still returns every candidate exactly once."""
+        candidates = {c for c in candidates if len(c) == 3}
+        tree = SequenceHashTree(candidates, leaf_capacity=leaf, branch_factor=branch)
+        assert sorted(tree) == sorted(candidates)
+
+        def walk(node, depth):
+            if node.is_leaf:
+                if len(node.bucket) > leaf:
+                    assert not tree._can_spread(node.bucket, depth)
+                return
+            for child in node.children.values():
+                walk(child, depth + 1)
+
+        walk(tree._root, 0)
+
     def test_hash_collisions_verified_exactly(self):
         # ids 1 and 4 collide mod 3; (4, 2) must not be reported for a
         # customer containing only 1-then-2.

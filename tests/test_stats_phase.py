@@ -79,12 +79,24 @@ class TestSequencePhaseResult:
 
 class TestCountingOptions:
     def test_kwargs_roundtrip(self):
-        opts = CountingOptions(strategy="naive", leaf_capacity=4, branch_factor=8)
+        opts = CountingOptions(
+            strategy="naive", leaf_capacity=4, branch_factor=8, workers=2,
+            chunk_size=100,
+        )
         assert opts.kwargs() == {
             "strategy": "naive",
             "leaf_capacity": 4,
             "branch_factor": 8,
+            "workers": 2,
+            "chunk_size": 100,
         }
+        assert opts.sharding_kwargs() == {"workers": 2, "chunk_size": 100}
+
+    def test_rejects_bad_parallel_knobs(self):
+        with pytest.raises(ValueError):
+            CountingOptions(workers=-1)
+        with pytest.raises(ValueError):
+            CountingOptions(chunk_size=0)
 
     def test_frozen(self):
         with pytest.raises(AttributeError):

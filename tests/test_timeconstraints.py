@@ -196,6 +196,61 @@ class TestMineTimeConstrained:
     def test_empty(self):
         assert mine_time_constrained([], 0.5) == []
 
+    def test_regression_pinned_fixture(self):
+        # Pins the exact output (sequences, counts, order) on a small
+        # fixture with every constraint kind active, guarding refactors
+        # of the mining loop (e.g. the sharded counting path).
+        transactions = rows(
+            (1, 1, (30,)), (1, 2, (40,)), (1, 4, (70,)), (1, 9, (90,)),
+            (2, 1, (30,)), (2, 5, (40, 70)), (2, 6, (90,)),
+            (3, 2, (30,)), (3, 3, (70,)), (3, 4, (40,)), (3, 20, (90,)),
+        )
+        patterns = mine_time_constrained(
+            transactions,
+            minsup=0.6,
+            constraints=TimeConstraints(min_gap=0, max_gap=6, window_size=2),
+        )
+        # Spot-checks of the pinned values: <(30 40)> needs 30 and 40
+        # within one window (customers 1 and 3 only — customer 2 has them
+        # 4 time units apart); <(40)(90)> is *absent* because max_gap=6
+        # rules out customers 1 (40@2 → 90@9) and 3 (40@4 → 90@20).
+        assert [(str(p.sequence), p.count) for p in patterns] == [
+            ("<(30)>", 3),
+            ("<(30 40)>", 2),
+            ("<(40)>", 3),
+            ("<(40 70)>", 3),
+            ("<(70)>", 3),
+            ("<(90)>", 3),
+            ("<(30)(40)>", 3),
+            ("<(30)(40 70)>", 3),
+            ("<(30)(70)>", 3),
+            ("<(70)(90)>", 2),
+            ("<(30)(70)(90)>", 2),
+        ]
+
+    @pytest.mark.parametrize(
+        "constraints",
+        [
+            TimeConstraints(),
+            TimeConstraints(max_gap=6),
+            TimeConstraints(min_gap=1, window_size=2),
+        ],
+    )
+    def test_parallel_equals_serial(self, constraints):
+        transactions = rows(
+            (1, 1, (30,)), (1, 2, (40,)), (1, 4, (70,)), (1, 9, (90,)),
+            (2, 1, (30,)), (2, 5, (40, 70)), (2, 6, (90,)),
+            (3, 2, (30,)), (3, 3, (70,)), (3, 4, (40,)), (3, 20, (90,)),
+            (4, 1, (90,)), (4, 2, (30,)),
+        )
+        serial = mine_time_constrained(transactions, 0.5, constraints)
+        parallel = mine_time_constrained(transactions, 0.5, constraints, workers=2)
+        chunked = mine_time_constrained(
+            transactions, 0.5, constraints, workers=3, chunk_size=1
+        )
+        assert parallel == serial
+        assert chunked == serial
+
     @given(my.databases(max_customers=4, max_events=3, max_item=4))
     @settings(
         max_examples=40,
