@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Counting-strategy ablation: hashtree vs naive vs bitset, per pass length.
+
+Generates a synthetic dataset, runs the litemset and transformation
+phases once, then times every counting pass of an AprioriAll-style
+level-wise run (the length-2 occurring-pairs sweep plus each C_k pass for
+k >= 3) under all three strategies. The bitset strategy's once-per-run
+compilation is timed separately and charged to its total, so the
+comparison is honest: compile once, then count every pass with integer
+bit-ops.
+
+Counts are cross-checked per pass — any mismatch across strategies fails
+the run — and the measurements are written as machine-readable JSON
+(``BENCH_counting.json`` by default) via the shared results writer, so CI
+can archive the perf trajectory.
+
+Run:  PYTHONPATH=src python benchmarks/bench_counting_strategies.py
+      PYTHONPATH=src python benchmarks/bench_counting_strategies.py \
+          --customers 2000 --minsup 0.008 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from results_io import write_bench_json
+
+from repro.core.bitset import CompiledDatabase
+from repro.core.candidates import apriori_generate
+from repro.core.counting import (
+    COUNTING_STRATEGIES,
+    count_candidates,
+    count_length2,
+    filter_large,
+)
+from repro.datagen.generator import generate_database
+from repro.datagen.params import SyntheticParams
+from repro.db.transform import transform_database
+from repro.itemsets.apriori import find_litemsets
+from repro.itemsets.litemsets import LitemsetCatalog
+
+
+def best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock over ``repeats`` calls (noise-resistant)."""
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="C10-T2.5-S4-I1.25")
+    parser.add_argument("--customers", type=int, default=2000)
+    parser.add_argument("--minsup", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions; best (minimum) is reported")
+    parser.add_argument("--max-length", type=int, default=None,
+                        help="stop after this pass length")
+    parser.add_argument("--max-candidates", type=int, default=150_000,
+                        help="abort a k>=3 pass whose candidate set exceeds "
+                        "this (guards against degenerate low absolute "
+                        "thresholds, where the naive pass never finishes)")
+    parser.add_argument("--output", default="BENCH_counting.json",
+                        help="machine-readable results file")
+    args = parser.parse_args()
+
+    print(f"machine: {os.cpu_count()} CPUs")
+    print(f"dataset: {args.dataset}, |D|={args.customers}, minsup={args.minsup}")
+
+    params = SyntheticParams.from_name(args.dataset, num_customers=args.customers)
+    db = generate_database(params, seed=args.seed)
+    threshold = db.threshold(args.minsup)
+    litemsets = find_litemsets(db, args.minsup)
+    tdb = transform_database(db, LitemsetCatalog.from_result(litemsets))
+    print(f"transformed: {len(tdb)} customers, {len(litemsets)} litemsets, "
+          f"threshold {threshold}")
+    if threshold < 2:
+        print(f"threshold {threshold} is degenerate (nearly everything is "
+              "large and candidate sets explode); raise --minsup or "
+              "--customers", file=sys.stderr)
+        return 1
+
+    compile_seconds = best_of(
+        args.repeats, lambda: CompiledDatabase.compile(tdb.sequences)
+    )
+    compiled = CompiledDatabase.compile(tdb.sequences)
+    databases = {
+        "hashtree": tdb.sequences,
+        "naive": tdb.sequences,
+        "bitset": compiled,
+    }
+
+    rows: list[dict] = []
+    totals = {strategy: 0.0 for strategy in COUNTING_STRATEGIES}
+    totals["bitset"] += compile_seconds
+    rows.append({
+        "pass": "compile",
+        "candidates": None,
+        "seconds": {"bitset": round(compile_seconds, 6)},
+    })
+
+    print(f"\n{'pass':>6} {'|C_k|':>8}"
+          + "".join(f" {s:>10}" for s in COUNTING_STRATEGIES))
+
+    # Drive the level-wise passes off the hashtree anchor counts.
+    k = 2
+    large = None
+    while True:
+        if args.max_length is not None and k > args.max_length:
+            break
+        if k == 2:
+            candidates = None  # occurring-pairs sweep, no materialized C_2
+            run = {
+                strategy: (lambda s=strategy: count_length2(databases[s]))
+                for strategy in COUNTING_STRATEGIES
+            }
+        else:
+            candidates = apriori_generate(large.keys())
+            if not candidates:
+                break
+            if len(candidates) > args.max_candidates:
+                print(f"stopping before pass {k}: |C_{k}|={len(candidates)} "
+                      f"exceeds --max-candidates {args.max_candidates}",
+                      file=sys.stderr)
+                break
+            run = {
+                strategy: (
+                    lambda s=strategy: count_candidates(
+                        databases[s], candidates, strategy=s
+                    )
+                )
+                for strategy in COUNTING_STRATEGIES
+            }
+        counts = {strategy: fn() for strategy, fn in run.items()}
+        anchor = counts["hashtree"]
+        for strategy in ("naive", "bitset"):
+            mismatch = (
+                counts[strategy] != anchor
+                if k > 2
+                else dict(counts[strategy]) != dict(anchor)
+            )
+            if mismatch:
+                print(f"COUNT MISMATCH at pass {k}: {strategy} != hashtree",
+                      file=sys.stderr)
+                return 1
+        seconds = {
+            strategy: best_of(args.repeats, fn) for strategy, fn in run.items()
+        }
+        for strategy, elapsed in seconds.items():
+            totals[strategy] += elapsed
+        num_candidates = len(anchor) if k == 2 else len(candidates)
+        rows.append({
+            "pass": k,
+            "candidates": num_candidates,
+            "seconds": {s: round(v, 6) for s, v in seconds.items()},
+        })
+        print(f"{k:>6} {num_candidates:>8}"
+              + "".join(f" {seconds[s]:>10.4f}" for s in COUNTING_STRATEGIES))
+        large = filter_large(dict(anchor), threshold)
+        if not large:
+            break
+        k += 1
+
+    print(f"\n{'total':>6} {'':>8}"
+          + "".join(f" {totals[s]:>10.4f}" for s in COUNTING_STRATEGIES)
+          + "   (bitset total includes one-time compile "
+          f"{compile_seconds:.4f}s)")
+    speedup = totals["hashtree"] / totals["bitset"] if totals["bitset"] else 0.0
+    print(f"bitset speedup over hashtree: {speedup:.2f}x")
+
+    rows.append({
+        "pass": "total",
+        "candidates": None,
+        "seconds": {s: round(v, 6) for s, v in totals.items()},
+        "bitset_speedup_over_hashtree": round(speedup, 3),
+    })
+    write_bench_json(
+        args.output,
+        "counting_strategies",
+        config=vars(args),
+        rows=rows,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

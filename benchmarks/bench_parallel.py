@@ -9,6 +9,7 @@ one row per configuration with the speedup over serial.
 
 Run:  PYTHONPATH=src python benchmarks/bench_parallel.py
       PYTHONPATH=src python benchmarks/bench_parallel.py --customers 10000 --workers 1 2 4 8
+      PYTHONPATH=src python benchmarks/bench_parallel.py --output BENCH_parallel.json
 
 This is a plain script rather than a pytest-benchmark module because its
 subject is wall-clock *scaling*, not statistical microtiming — and so it
@@ -16,6 +17,10 @@ can run on machines without pytest installed. Expect near-linear scaling
 up to the physical core count; on single-core machines (e.g. a 1-CPU
 container) the parallel rows measure pure pool overhead and will not show
 a speedup, because there is no hardware to run the shards on.
+
+With ``--output`` the measurements are also written as machine-readable
+JSON through the shared results writer (same envelope as
+``bench_counting_strategies.py``), for CI artifact capture.
 """
 
 from __future__ import annotations
@@ -24,8 +29,11 @@ import argparse
 import os
 import time
 
+from results_io import write_bench_json
+
 from repro.core.candidates import apriori_generate
 from repro.core.counting import count_candidates, count_length2, filter_large
+from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database
 from repro.datagen.params import SyntheticParams
 from repro.db.transform import transform_database
@@ -50,10 +58,12 @@ def main() -> int:
     parser.add_argument("--minsup", type=float, default=0.01)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
-    parser.add_argument("--strategy", choices=("hashtree", "naive"),
+    parser.add_argument("--strategy", choices=("hashtree", "naive", "bitset"),
                         default="hashtree")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repetitions; best (minimum) is reported")
+    parser.add_argument("--output", default=None,
+                        help="also write results as JSON to this file")
     args = parser.parse_args()
 
     print(f"machine: {os.cpu_count()} CPUs")
@@ -75,14 +85,21 @@ def main() -> int:
         print("no length-3 candidates at this minsup; lower --minsup")
         return 1
 
+    # Mirror the production path: the bitset strategy compiles the
+    # database once up front (workers inherit/receive the compiled form),
+    # so compilation is not re-timed inside every measured pass.
+    counting = CountingOptions(strategy=args.strategy)
+    sequences = counting.prepare_sequences(tdb.sequences)
+
     # The baseline is always a measured serial (workers=1) pass, even
     # when 1 is not in --workers, so 'speedup' means speedup over serial.
-    serial = count_candidates(tdb.sequences, candidates, strategy=args.strategy)
+    serial = count_candidates(sequences, candidates, strategy=args.strategy)
     baseline = best_of(
         args.repeats,
-        lambda: count_candidates(tdb.sequences, candidates, strategy=args.strategy),
+        lambda: count_candidates(sequences, candidates, strategy=args.strategy),
     )
 
+    rows = []
     print(f"\n{'workers':>8} {'seconds':>9} {'speedup':>8}   counts")
     for workers in args.workers:
         if workers == 1:
@@ -91,17 +108,30 @@ def main() -> int:
             elapsed = best_of(
                 args.repeats,
                 lambda: count_candidates(
-                    tdb.sequences, candidates,
+                    sequences, candidates,
                     strategy=args.strategy, workers=workers,
                 ),
             )
             counts = count_candidates(
-                tdb.sequences, candidates, strategy=args.strategy, workers=workers
+                sequences, candidates, strategy=args.strategy, workers=workers
             )
         identical = "identical" if counts == serial else "MISMATCH"
         print(f"{workers:>8} {elapsed:>9.3f} {baseline / elapsed:>7.2f}x   {identical}")
+        rows.append({
+            "workers": workers,
+            "seconds": round(elapsed, 6),
+            "speedup": round(baseline / elapsed, 3),
+            "counts_identical": counts == serial,
+        })
         if counts != serial:
             return 1
+    if args.output:
+        write_bench_json(
+            args.output,
+            "parallel_counting",
+            config=vars(args),
+            rows=rows,
+        )
     return 0
 
 

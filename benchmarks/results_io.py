@@ -1,0 +1,56 @@
+"""Shared machine-readable results writer for the benchmark scripts.
+
+Every benchmark that wants a perf trajectory (CI artifacts, committed
+``BENCH_*.json`` snapshots) funnels through :func:`write_bench_json`, so
+all emitted files share one envelope::
+
+    {
+      "benchmark": "<name>",
+      "created_utc": "<ISO-8601>",
+      "machine": {"cpus": N, "platform": "...", "python": "..."},
+      "config": {...},   # the argparse namespace that produced the run
+      "rows": [...]      # benchmark-specific measurements
+    }
+
+Plain stdlib only — the bench scripts must run on machines without
+pytest/pytest-benchmark installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from typing import Any
+
+
+def machine_info() -> dict[str, Any]:
+    return {
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+    }
+
+
+def write_bench_json(
+    path: str,
+    benchmark: str,
+    *,
+    config: dict[str, Any],
+    rows: list[dict[str, Any]],
+) -> None:
+    """Write one benchmark envelope to ``path`` (pretty-printed, trailing
+    newline, keys in a stable order for reviewable diffs)."""
+    payload = {
+        "benchmark": benchmark,
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_info(),
+        "config": config,
+        "rows": rows,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {path}")

@@ -63,7 +63,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         dynamic_step=args.dynamic_step,
         max_pattern_length=args.max_length,
         counting=CountingOptions(
-            workers=args.workers, chunk_size=args.chunk_size
+            strategy=args.strategy,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
         ),
     )
     result = mine(db, params)
@@ -138,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
                           default="aprioriall")
     mine_cmd.add_argument("--dynamic-step", type=int, default=2)
     mine_cmd.add_argument("--max-length", type=int, default=None)
+    mine_cmd.add_argument("--strategy",
+                          choices=("hashtree", "naive", "bitset"),
+                          default="hashtree",
+                          help="support-counting backend: the paper's "
+                          "candidate hash tree, the quadratic reference, "
+                          "or the bitset-compiled database (compile "
+                          "customers once, count with integer bit-ops)")
     mine_cmd.add_argument("--workers", type=int, default=1,
                           help="worker processes for support counting "
                           "(1 = serial, 0 = all CPUs)")

@@ -39,6 +39,11 @@ def apriori_all(
     stats = AlgorithmStats("aprioriall")
     result = SequencePhaseResult(stats=stats)
 
+    # One-time per-run database preparation: the bitset strategy compiles
+    # every customer into occurrence bitmasks here, so the per-length
+    # passes below never rebuild per-customer indexes.
+    sequences = counting.prepare_sequences(tdb.sequences)
+
     # L_1 comes for free from the litemset phase: the support of <(X)>
     # equals the support of the itemset X, and every catalog entry meets
     # the threshold by construction.
@@ -62,14 +67,14 @@ def apriori_all(
             # C_2 is all |L_1|² ordered pairs; count occurring pairs
             # directly instead of materializing them (see count_length2).
             num_candidates = len(l1) * len(l1)
-            counts = count_length2(tdb.sequences, **counting.sharding_kwargs())
+            counts = count_length2(sequences, **counting.sharding_kwargs())
         else:
             candidates = apriori_generate(result.large_by_length[k - 1].keys())
             num_candidates = len(candidates)
             if not candidates:
                 stats.record_generated(k, 0)
                 break
-            counts = count_candidates(tdb.sequences, candidates, **counting.kwargs())
+            counts = count_candidates(sequences, candidates, **counting.kwargs())
         stats.record_generated(k, num_candidates)
         large = filter_large(counts, threshold)
         stats.record_pass(

@@ -86,6 +86,10 @@ def apriori_some(
     stats = AlgorithmStats("apriorisome")
     result = SequencePhaseResult(stats=stats)
 
+    # Bitset strategy: compile the database once for the whole run
+    # (forward passes and the backward phase all scan the compiled form).
+    sequences = counting.prepare_sequences(tdb.sequences)
+
     l1 = tdb.catalog.one_sequence_supports()
     result.large_by_length[1] = l1
     stats.record_generated(1, len(l1))
@@ -111,7 +115,7 @@ def apriori_some(
             # ordered pairs — use the occurring-pairs fast path instead of
             # materializing them (see count_length2).
             started = time.perf_counter()
-            counts = count_length2(tdb.sequences, **counting.sharding_kwargs())
+            counts = count_length2(sequences, **counting.sharding_kwargs())
             num_candidates = len(l1) * len(l1)
             candidates = sorted(counts)
         else:
@@ -129,7 +133,7 @@ def apriori_some(
             if k != 2:
                 started = time.perf_counter()
                 counts = count_candidates(
-                    tdb.sequences, candidates, **counting.kwargs()
+                    sequences, candidates, **counting.kwargs()
                 )
             large = filter_large(counts, threshold)
             stats.record_pass(
@@ -158,6 +162,7 @@ def apriori_some(
         candidates_by_length,
         counted,
         counting=counting,
+        sequences=sequences,
     )
     # Drop empty length entries (a counted-forward empty L_k terminator).
     result.large_by_length = {

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from typing import Collection
 
-from repro.core.counting import count_candidates, filter_large
+from repro.core.counting import CountableSequences, count_candidates, filter_large
 from repro.core.maximal import ContainmentIndex, SequenceExpander
 from repro.core.phase import CountingOptions, SequencePhaseResult
 from repro.core.sequence import IdSequence
@@ -42,10 +42,19 @@ def backward_phase(
     counted_lengths: set[int],
     *,
     counting: CountingOptions = CountingOptions(),
+    sequences: CountableSequences | None = None,
 ) -> None:
-    """Count all skipped candidate lengths, mutating ``result`` in place."""
+    """Count all skipped candidate lengths, mutating ``result`` in place.
+
+    ``sequences`` is the per-run database form the forward phase already
+    prepared (the compiled bitmask database under the bitset strategy);
+    when omitted it is derived from ``counting`` — compiling at most once
+    for all backward passes combined.
+    """
     if not candidates_by_length:
         return
+    if sequences is None:
+        sequences = counting.prepare_sequences(tdb.sequences)
     expander = SequenceExpander(tdb.catalog)
     index = ContainmentIndex()
     stats = result.stats
@@ -64,7 +73,7 @@ def backward_phase(
         ]
         stats.skipped_by_containment += len(candidates) - len(remaining)
         started = time.perf_counter()
-        counts = count_candidates(tdb.sequences, remaining, **counting.kwargs())
+        counts = count_candidates(sequences, remaining, **counting.kwargs())
         large = filter_large(counts, threshold)
         stats.record_pass(
             length=length,

@@ -2,17 +2,29 @@
 
 One *pass* = one scan of the transformed database that counts how many
 customers contain each candidate (a customer contributes at most 1 to each
-candidate, per the paper's support definition). Two interchangeable
+candidate, per the paper's support definition). Three interchangeable
 strategies are provided:
 
 * ``"hashtree"`` — the paper's approach: build a
   :class:`~repro.core.hashtree.SequenceHashTree` over the candidates and
-  probe it once per customer.
+  probe it once per customer, via a fresh per-pass
+  :class:`~repro.core.sequence.OccurrenceIndex`.
+* ``"bitset"`` — the same hash-tree candidate fan-out, but probed against
+  the :mod:`~repro.core.bitset` compiled database: each customer is
+  compiled **once per mining run** into per-id occurrence bitmasks, and
+  every matching primitive becomes C-speed integer shift/AND ops. No
+  per-pass index reconstruction.
 * ``"naive"`` — test every candidate against every customer with the
   greedy matcher. Quadratic, but simple; kept as the reference
   implementation and as the baseline of the counting ablation bench.
 
-Both return identical counts (a property test enforces this).
+All strategies return identical counts (property tests enforce this).
+
+The ``sequences`` argument of every engine accepts either the raw
+transformed sequence list or an already-compiled
+:class:`~repro.core.bitset.CompiledDatabase`; the algorithms compile once
+up front (via :meth:`CountingOptions.prepare_sequences`) when the bitset
+strategy is selected, so the per-pass calls here never recompile.
 
 Either strategy can run sharded-parallel: with ``workers > 1`` (or
 ``workers=0`` for all CPUs) the pass is routed through
@@ -26,8 +38,9 @@ of customers per shard (default: one near-equal shard per worker).
 
 from __future__ import annotations
 
-from typing import Collection, Literal, Sequence as PySequence
+from typing import Collection, Literal, Sequence as PySequence, Union
 
+from repro.core.bitset import CompiledDatabase, CompiledSequence, ensure_compiled
 from repro.core.hashtree import (
     DEFAULT_BRANCH_FACTOR,
     DEFAULT_LEAF_CAPACITY,
@@ -35,13 +48,36 @@ from repro.core.hashtree import (
 )
 from repro.core.sequence import IdSequence, OccurrenceIndex, id_sequence_contains
 
-CountingStrategy = Literal["hashtree", "naive"]
+CountingStrategy = Literal["hashtree", "naive", "bitset"]
+
+COUNTING_STRATEGIES: tuple[CountingStrategy, ...] = ("hashtree", "naive", "bitset")
 
 TransformedSequences = PySequence[tuple[frozenset[int], ...]]
 
+#: What every counting engine scans: raw transformed sequences, or the
+#: bitset-compiled form of the same database.
+CountableSequences = Union[TransformedSequences, CompiledDatabase]
+
+
+def _build_trees(
+    candidates: Collection[IdSequence], leaf_capacity: int, branch_factor: int
+) -> list[SequenceHashTree]:
+    """One tree per candidate length (a tree holds equal-length sequences);
+    the algorithms pass uniform lengths, but the API stays safe for mixed
+    input."""
+    by_length: dict[int, list[IdSequence]] = {}
+    for candidate in candidates:
+        by_length.setdefault(len(candidate), []).append(candidate)
+    return [
+        SequenceHashTree(
+            group, leaf_capacity=leaf_capacity, branch_factor=branch_factor
+        )
+        for group in by_length.values()
+    ]
+
 
 def count_candidates(
-    sequences: TransformedSequences,
+    sequences: CountableSequences,
     candidates: Collection[IdSequence],
     *,
     strategy: CountingStrategy = "hashtree",
@@ -73,29 +109,37 @@ def count_candidates(
     if not counts:
         return counts
     if strategy == "hashtree":
-        # One tree per candidate length (a tree holds equal-length
-        # sequences); the algorithms pass uniform lengths, but the API
-        # stays safe for mixed input.
-        by_length: dict[int, list[IdSequence]] = {}
-        for candidate in counts:
-            by_length.setdefault(len(candidate), []).append(candidate)
-        trees = [
-            SequenceHashTree(
-                group, leaf_capacity=leaf_capacity, branch_factor=branch_factor
-            )
-            for group in by_length.values()
-        ]
+        trees = _build_trees(counts, leaf_capacity, branch_factor)
         for events in sequences:
-            index = OccurrenceIndex(events)
+            index = (
+                events if isinstance(events, CompiledSequence)
+                else OccurrenceIndex(events)
+            )
             for tree in trees:
                 for candidate in tree.contained_in(index):
                     counts[candidate] += 1
+    elif strategy == "bitset":
+        # Compiled path: reuse the caller's compiled database (the
+        # algorithms compile once per run); compile here only when handed
+        # raw sequences directly.
+        compiled = ensure_compiled(sequences)
+        trees = _build_trees(counts, leaf_capacity, branch_factor)
+        for customer in compiled:
+            for tree in trees:
+                for candidate in tree.contained_in(customer):
+                    counts[candidate] += 1
     elif strategy == "naive":
         candidate_list = list(counts)
-        for events in sequences:
-            for candidate in candidate_list:
-                if id_sequence_contains(candidate, events):
-                    counts[candidate] += 1
+        if isinstance(sequences, CompiledDatabase):
+            for customer in sequences:
+                for candidate in candidate_list:
+                    if customer.contains(candidate):
+                        counts[candidate] += 1
+        else:
+            for events in sequences:
+                for candidate in candidate_list:
+                    if id_sequence_contains(candidate, events):
+                        counts[candidate] += 1
     else:
         raise ValueError(f"unknown counting strategy {strategy!r}")
     return counts
@@ -109,7 +153,7 @@ def filter_large(
 
 
 def count_length2(
-    sequences: TransformedSequences,
+    sequences: CountableSequences,
     *,
     workers: int = 1,
     chunk_size: int | None = None,
@@ -120,13 +164,20 @@ def count_length2(
     1-sequence), which is far too many to materialize and probe for large
     alphabets. Instead this counts, per customer, exactly the ordered
     pairs that *occur* — any pair never occurring has support 0 and cannot
-    be large — by sweeping each customer sequence once with a running
-    prefix union. Returns counts for occurring pairs only; callers report
-    the analytic |L_1|² as the candidate count.
+    be large. Over raw sequences, each customer is swept once with a
+    running prefix union; per-id *watermarks* record how much of the
+    prefix an id has already been paired with, so an id recurring in many
+    events is paired only against prefix ids it has not seen yet, and each
+    pair is emitted exactly once (no per-customer dedup set). Over a
+    :class:`~repro.core.bitset.CompiledDatabase` the sweep is pure mask
+    arithmetic: ``(a, b)`` occurs iff ``a``'s lowest set bit lies below
+    ``b``'s highest set bit.
 
-    Equivalence with the generic engine over the materialized ``C_2`` is
-    enforced by a property test. ``workers``/``chunk_size`` shard the pass
-    exactly as in :func:`count_candidates`.
+    Returns counts for occurring pairs only; callers report the analytic
+    |L_1|² as the candidate count. Equivalence with the generic engine
+    over the materialized ``C_2`` is enforced by a property test.
+    ``workers``/``chunk_size`` shard the pass exactly as in
+    :func:`count_candidates`.
     """
     if workers != 1:
         from repro.parallel.executor import parallel_count_length2
@@ -135,14 +186,39 @@ def count_length2(
             sequences, workers=workers, chunk_size=chunk_size
         )
     counts: dict[IdSequence, int] = {}
+    if isinstance(sequences, CompiledDatabase):
+        # occurring_pairs yields each contained pair exactly once per
+        # customer, so the merge adds exactly 0 or 1.
+        for customer in sequences:
+            for pair in customer.occurring_pairs():
+                if pair in counts:
+                    counts[pair] += 1
+                else:
+                    counts[pair] = 1
+        return counts
     for events in sequences:
-        seen: set[IdSequence] = set()
-        prefix: set[int] = set()
+        prefix: list[int] = []  # distinct prefix ids, in first-seen order
+        in_prefix: set[int] = set()
+        watermark: dict[int, int] = {}  # id -> prefix length already paired
+        pairs: list[IdSequence] = []
         for event in events:
-            for second in event:
-                for first in prefix:
-                    seen.add((first, second))
-            prefix.update(event)
-        for pair in seen:
-            counts[pair] = counts.get(pair, 0) + 1
+            depth = len(prefix)
+            if depth:
+                for second in event:
+                    start = watermark.get(second, 0)
+                    if start < depth:
+                        for i in range(start, depth):
+                            pairs.append((prefix[i], second))
+                        watermark[second] = depth
+            for litemset_id in event:
+                if litemset_id not in in_prefix:
+                    in_prefix.add(litemset_id)
+                    prefix.append(litemset_id)
+        # Each pair occurs at most once per customer (watermarks advance
+        # monotonically), so this merge adds exactly 0 or 1 per pair.
+        for pair in pairs:
+            if pair in counts:
+                counts[pair] += 1
+            else:
+                counts[pair] = 1
     return counts

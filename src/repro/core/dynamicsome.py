@@ -25,8 +25,14 @@ import time
 from typing import Collection, Sequence as PySequence
 
 from repro.core.backward import backward_phase
+from repro.core.bitset import CompiledDatabase
 from repro.core.candidates import apriori_generate
-from repro.core.counting import count_candidates, count_length2, filter_large
+from repro.core.counting import (
+    CountableSequences,
+    count_candidates,
+    count_length2,
+    filter_large,
+)
 from repro.core.hashtree import SequenceHashTree
 from repro.core.phase import CountingOptions, SequencePhaseResult
 from repro.core.sequence import (
@@ -83,6 +89,10 @@ def dynamic_some(
     stats = AlgorithmStats("dynamicsome")
     result = SequencePhaseResult(stats=stats)
 
+    # Bitset strategy: compile the database once; the initialization,
+    # forward (on-the-fly), and backward passes all scan the compiled form.
+    sequences = counting.prepare_sequences(tdb.sequences)
+
     l1 = tdb.catalog.one_sequence_supports()
     result.large_by_length[1] = l1
     stats.record_generated(1, len(l1))
@@ -107,7 +117,7 @@ def dynamic_some(
         started = time.perf_counter()
         if k == 2:
             # Occurring-pairs fast path; C_2 is all |L_1|² ordered pairs.
-            counts = count_length2(tdb.sequences, **counting.sharding_kwargs())
+            counts = count_length2(sequences, **counting.sharding_kwargs())
             num_candidates = len(l1) * len(l1)
             candidates = sorted(counts)
         else:
@@ -116,7 +126,7 @@ def dynamic_some(
             if not candidates:
                 stats.record_generated(k, 0)
                 break
-            counts = count_candidates(tdb.sequences, candidates, **counting.kwargs())
+            counts = count_candidates(sequences, candidates, **counting.kwargs())
         stats.record_generated(k, num_candidates)
         candidates_by_length[k] = candidates
         large = filter_large(counts, threshold)
@@ -155,7 +165,7 @@ def dynamic_some(
             break
         started = time.perf_counter()
         counts = _count_on_the_fly(
-            tdb,
+            sequences,
             sorted(result.large_by_length[k]),
             sorted(large_step),
             counting,
@@ -199,6 +209,7 @@ def dynamic_some(
         candidates_by_length,
         counted,
         counting=counting,
+        sequences=sequences,
     )
     result.large_by_length = {
         length: large for length, large in result.large_by_length.items() if large
@@ -207,12 +218,19 @@ def dynamic_some(
 
 
 def _count_on_the_fly(
-    tdb: TransformedDatabase,
+    sequences: CountableSequences,
     large_k: list[IdSequence],
     large_step: list[IdSequence],
     counting: CountingOptions,
 ) -> dict[IdSequence, int]:
-    """One forward-phase pass: per customer, join contained heads/tails."""
+    """One forward-phase pass: per customer, join contained heads/tails.
+
+    Over a :class:`~repro.core.bitset.CompiledDatabase` the hash trees
+    probe the compiled bitmasks directly and the join coordinates
+    (earliest end of the head, latest start of the tail) are mask
+    arithmetic; over raw sequences a per-customer occurrence index is
+    built, as in the other engines.
+    """
     tree_k = SequenceHashTree(
         large_k,
         leaf_capacity=counting.leaf_capacity,
@@ -223,19 +241,33 @@ def _count_on_the_fly(
         leaf_capacity=counting.leaf_capacity,
         branch_factor=counting.branch_factor,
     )
+    compiled = isinstance(sequences, CompiledDatabase)
     counts: dict[IdSequence, int] = {}
-    for events in tdb.sequences:
-        index = OccurrenceIndex(events)
-        heads = [
-            (head, earliest_end_index(head, events))
-            for head in tree_k.contained_in(index)
-        ]
+    for events in sequences:
+        if compiled:
+            index = events
+            heads = [
+                (head, events.earliest_end_index(head))
+                for head in tree_k.contained_in(index)
+            ]
+        else:
+            index = OccurrenceIndex(events)
+            heads = [
+                (head, earliest_end_index(head, events))
+                for head in tree_k.contained_in(index)
+            ]
         if not heads:
             continue
-        tails = [
-            (tail, latest_start_index(tail, events))
-            for tail in tree_step.contained_in(index)
-        ]
+        if compiled:
+            tails = [
+                (tail, events.latest_start_index(tail))
+                for tail in tree_step.contained_in(index)
+            ]
+        else:
+            tails = [
+                (tail, latest_start_index(tail, events))
+                for tail in tree_step.contained_in(index)
+            ]
         if not tails:
             continue
         generated = {

@@ -4,8 +4,13 @@ The paper reuses the VLDB 1994 hash-tree idea "with sequences in place of
 itemsets" to avoid testing every candidate against every customer
 sequence. This implementation is position-aware: traversal state carries
 the event index at which the candidate prefix's greedy match ended, and a
-child is only descended when its id occurs in a *strictly later* event
-(via :class:`~repro.core.sequence.OccurrenceIndex`). Because greedy
+child is only descended when its id occurs in a *strictly later* event.
+The per-customer lookup is abstracted behind the
+:class:`~repro.core.sequence.OccurrenceProbe` protocol (``ids()`` +
+``first_after()``): the ``"hashtree"`` strategy probes a fresh
+:class:`~repro.core.sequence.OccurrenceIndex` per pass, while the
+``"bitset"`` strategy probes the once-per-run compiled
+:class:`~repro.core.bitset.CompiledSequence` bitmasks. Because greedy
 earliest matching is optimal, every candidate reaching a leaf has a
 contained path prefix; the leaf then verifies the remaining suffix
 exactly, so hash collisions cannot yield false positives.
@@ -27,7 +32,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.core.sequence import IdSequence, OccurrenceIndex
+from repro.core.bitset import CompiledSequence
+from repro.core.sequence import IdSequence, OccurrenceProbe
 
 DEFAULT_LEAF_CAPACITY = 16
 DEFAULT_BRANCH_FACTOR = 32
@@ -81,6 +87,8 @@ class SequenceHashTree:
         return self._length
 
     def _hash(self, litemset_id: int) -> int:
+        # The probe descents (_collect/_collect_masks) inline this modulo
+        # in their per-id loops; keep the three in sync.
         return litemset_id % self._branch_factor
 
     def insert(self, candidate: IdSequence) -> None:
@@ -150,12 +158,21 @@ class SequenceHashTree:
                 else:
                     child.unspreadable = True
 
-    def contained_in(self, index: OccurrenceIndex) -> set[IdSequence]:
+    def contained_in(self, index: OccurrenceProbe) -> set[IdSequence]:
         """All stored candidates contained in the customer sequence behind
-        ``index`` (id-alphabet containment)."""
+        ``index`` (id-alphabet containment).
+
+        Any :class:`~repro.core.sequence.OccurrenceProbe` works; a
+        compiled bitmask customer takes a specialized descent with the
+        mask arithmetic inlined (no per-id probe calls) and one-call leaf
+        verification — this is the hottest loop of the sequence phase.
+        """
         found: set[IdSequence] = set()
         if self._size:
-            self._collect(self._root, 0, -1, index, found)
+            if isinstance(index, CompiledSequence):
+                self._collect_masks(self._root, -1, index, found)
+            else:
+                self._collect(self._root, 0, -1, index, found)
         return found
 
     def _collect(
@@ -163,7 +180,7 @@ class SequenceHashTree:
         node: _Node,
         depth: int,
         last_pos: int,
-        index: OccurrenceIndex,
+        index: OccurrenceProbe,
         found: set[IdSequence],
     ) -> None:
         if node.is_leaf:
@@ -174,20 +191,54 @@ class SequenceHashTree:
                     found.add(candidate)
             return
         children = node.children
+        branch = self._branch_factor
         # Try every distinct id with an occurrence after last_pos whose
         # bucket has a child. Distinct ids sharing a bucket are tried
         # separately because their earliest positions differ.
         for litemset_id in index.ids():
-            child = children.get(self._hash(litemset_id))
+            child = children.get(litemset_id % branch)
             if child is None:
                 continue
             pos = index.first_after(litemset_id, last_pos)
             if pos is not None:
                 self._collect(child, depth + 1, pos, index, found)
 
+    def _collect_masks(
+        self,
+        node: _Node,
+        last_pos: int,
+        customer: CompiledSequence,
+        found: set[IdSequence],
+    ) -> None:
+        """The compiled-probe descent: ``first_after`` unfolded to
+        shift/AND/``bit_length`` on the per-id occurrence masks, and leaves
+        verified by one whole-pattern ``contains`` (which restarts the
+        greedy match exactly like ``_verify_suffix``)."""
+        if node.is_leaf:
+            contains = customer.contains
+            for candidate in node.bucket:
+                if candidate not in found and contains(candidate):
+                    found.add(candidate)
+            return
+        children = node.children
+        branch = self._branch_factor
+        shift = last_pos + 1
+        for litemset_id, occ in customer.masks.items():
+            child = children.get(litemset_id % branch)
+            if child is None:
+                continue
+            remaining = occ >> shift
+            if remaining:
+                self._collect_masks(
+                    child,
+                    last_pos + (remaining & -remaining).bit_length(),
+                    customer,
+                    found,
+                )
+
     @staticmethod
     def _verify_suffix(
-        candidate: IdSequence, depth: int, last_pos: int, index: OccurrenceIndex
+        candidate: IdSequence, depth: int, last_pos: int, index: OccurrenceProbe
     ) -> bool:
         # The path guarantees only that *some* prefix assignment reached
         # last_pos; because hash buckets collide, the candidate's own

@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.counting import CountingStrategy
+from repro.core.counting import (
+    COUNTING_STRATEGIES,
+    CountableSequences,
+    CountingStrategy,
+    TransformedSequences,
+)
 from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
 from repro.core.sequence import IdSequence
 from repro.core.stats import AlgorithmStats
@@ -23,13 +28,17 @@ from repro.core.stats import AlgorithmStats
 class CountingOptions:
     """Knobs of the support-counting engine, threaded through every pass.
 
-    ``workers`` selects the sharded-parallel executor: ``1`` (default)
-    counts serially in-process, ``N > 1`` partitions the customers into
-    shards counted by ``N`` worker processes, and ``0`` means one worker
-    per CPU. ``chunk_size`` optionally fixes the customers-per-shard
-    (default: one near-equal shard per worker). Counts are identical for
-    every setting; only wall-clock time changes. See
-    :mod:`repro.parallel`.
+    ``strategy`` picks the per-pass engine: ``"hashtree"`` (the paper's
+    candidate hash tree over a per-pass occurrence index), ``"bitset"``
+    (the same tree probed against the once-per-run compiled bitmask
+    database — see :mod:`repro.core.bitset`), or ``"naive"`` (the
+    quadratic reference). ``workers`` selects the sharded-parallel
+    executor: ``1`` (default) counts serially in-process, ``N > 1``
+    partitions the customers into shards counted by ``N`` worker
+    processes, and ``0`` means one worker per CPU. ``chunk_size``
+    optionally fixes the customers-per-shard (default: one near-equal
+    shard per worker). Counts are identical for every setting; only
+    wall-clock time changes. See :mod:`repro.parallel`.
     """
 
     strategy: CountingStrategy = "hashtree"
@@ -39,10 +48,32 @@ class CountingOptions:
     chunk_size: int | None = None
 
     def __post_init__(self) -> None:
+        if self.strategy not in COUNTING_STRATEGIES:
+            raise ValueError(
+                f"unknown counting strategy {self.strategy!r}; "
+                f"expected one of {COUNTING_STRATEGIES}"
+            )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    def prepare_sequences(
+        self, sequences: TransformedSequences
+    ) -> CountableSequences:
+        """The per-run database form every counting pass should scan.
+
+        The bitset strategy compiles the transformed sequences into the
+        bitmask form exactly once here — every subsequent pass (forward,
+        on-the-fly, backward, sharded-parallel) reuses the compiled
+        database instead of rebuilding per-customer indexes. The other
+        strategies scan the raw sequences unchanged.
+        """
+        if self.strategy == "bitset":
+            from repro.core.bitset import ensure_compiled
+
+            return ensure_compiled(sequences)
+        return sequences
 
     def kwargs(self) -> dict:
         """Keyword arguments for :func:`repro.core.counting.count_candidates`."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_right
-from typing import Iterable, Iterator, Sequence as PySequence
+from typing import Iterable, Iterator, Protocol, Sequence as PySequence
 
 Item = int
 #: A canonical itemset: strictly increasing tuple of item ids.
@@ -76,18 +76,33 @@ class Sequence:
     inflate to ``Sequence`` when reporting.
     """
 
-    __slots__ = ("_events", "_hash")
+    __slots__ = ("_events", "_hash", "_frozen")
 
     def __init__(self, events: Iterable[Iterable[Item]]):
         self._events: tuple[Itemset, ...] = tuple(make_itemset(e) for e in events)
         if not self._events:
             raise ValueError("a sequence must contain at least one event")
         self._hash = hash(self._events)
+        self._frozen: tuple[frozenset[Item], ...] | None = None
 
     @property
     def events(self) -> tuple[Itemset, ...]:
         """The events (itemsets) of this sequence, in order."""
         return self._events
+
+    def frozen_events(self) -> tuple[frozenset[Item], ...]:
+        """The events as frozensets, built once and cached.
+
+        :func:`sequence_contains` skips its per-event ``set()`` rebuild
+        when pattern events are already sets, so repeated containment
+        probes with the same pattern (the maximal phase, the brute-force
+        oracle) should pass this form.
+        """
+        frozen = self._frozen
+        if frozen is None:
+            frozen = tuple(frozenset(event) for event in self._events)
+            self._frozen = frozen
+        return frozen
 
     @property
     def length(self) -> int:
@@ -105,11 +120,11 @@ class Sequence:
 
     def contains(self, other: "Sequence") -> bool:
         """Return ``True`` iff ``other`` is contained in ``self``."""
-        return sequence_contains(self._events, other._events)
+        return sequence_contains(self._events, other.frozen_events())
 
     def is_contained_in(self, other: "Sequence") -> bool:
         """Return ``True`` iff ``self`` is contained in ``other``."""
-        return sequence_contains(other._events, self._events)
+        return sequence_contains(other._events, self.frozen_events())
 
     def concat(self, other: "Sequence") -> "Sequence":
         """Concatenate two sequences event-wise."""
@@ -158,19 +173,23 @@ class Sequence:
 
 
 def sequence_contains(
-    container: PySequence[Itemset], pattern: PySequence[Itemset]
+    container: PySequence[Itemset | frozenset[Item]],
+    pattern: PySequence[Itemset | frozenset[Item]],
 ) -> bool:
     """Itemset-aware containment: is ``pattern`` contained in ``container``?
 
     Greedy matching over events; each pattern event must be a subset of a
-    strictly later container event than the previous match.
+    strictly later container event than the previous match. Pattern events
+    that already are ``set``/``frozenset`` are used as-is — callers probing
+    one pattern against many containers (the maximal phase, the oracle)
+    pre-freeze the pattern once instead of rebuilding a set per probe.
     """
     if len(pattern) > len(container):
         return False
     pos = 0
     limit = len(container)
     for event in pattern:
-        event_set = set(event)
+        event_set = event if isinstance(event, (set, frozenset)) else set(event)
         while pos < limit and not event_set.issubset(container[pos]):
             pos += 1
         if pos == limit:
@@ -243,6 +262,19 @@ def latest_start_index(pattern: IdSequence, events: IdEventSeq) -> int | None:
         start = pos
         pos -= 1
     return start
+
+
+class OccurrenceProbe(Protocol):
+    """The per-customer probe interface the sequence hash tree traverses.
+
+    Implemented by :class:`OccurrenceIndex` (position lists, built per
+    pass) and by :class:`repro.core.bitset.CompiledSequence` (occurrence
+    bitmasks, compiled once per mining run).
+    """
+
+    def ids(self) -> Iterable[int]: ...
+
+    def first_after(self, litemset_id: int, after: int) -> int | None: ...
 
 
 class OccurrenceIndex:

@@ -28,6 +28,17 @@ Two structural consequences, handled faithfully here:
 With all constraints at their defaults (no gaps, no window) the result is
 exactly the set of large sequences of the core pipeline — a property the
 tests enforce against the brute-force oracle.
+
+Counting backends: the candidate-containment pass accepts the same
+``strategy`` knob as the core pipeline. ``"bitset"`` compiles each timed
+history **once per run** into a :class:`CompiledTimedSequence` — per-item
+occurrence bitmasks over the transaction axis — so the windowless
+(``window_size == 0``) element-matching step becomes one mask AND per
+element instead of a per-candidate rescan of every transaction; with a
+window the compiled form falls back to the generic window sweep over its
+retained events. ``"hashtree"`` and ``"naive"`` both run the plain
+per-candidate loop (there is no hash tree over event-tuple candidates).
+All strategies produce identical supports.
 """
 
 from __future__ import annotations
@@ -128,8 +139,87 @@ def window_matches(
     return matches
 
 
+#: :func:`compile_timed` invocations since import — the test hook for the
+#: once-per-run timed compilation contract (mirrors
+#: :data:`repro.core.bitset.COMPILE_CALLS`).
+TIMED_COMPILE_CALLS = 0
+
+
+class CompiledTimedSequence:
+    """One timed customer history compiled for repeated element matching.
+
+    ``item_masks[item]`` has bit *i* set iff the item occurs in the *i*-th
+    transaction; ``times`` are the (strictly increasing) transaction
+    times. With ``window_size == 0`` an element's minimal windows are the
+    transactions whose mask contains the AND of its items' masks — one
+    big-int AND instead of a per-transaction subset scan per candidate
+    probe. The raw events are retained for the windowed fallback.
+    """
+
+    __slots__ = ("times", "item_masks", "events")
+
+    def __init__(
+        self,
+        times: tuple[int, ...],
+        item_masks: dict[int, int],
+        events: TimedEvents,
+    ):
+        self.times = times
+        self.item_masks = item_masks
+        self.events = events
+
+    @classmethod
+    def from_events(cls, events: TimedEvents) -> "CompiledTimedSequence":
+        item_masks: dict[int, int] = {}
+        for index, (_, items) in enumerate(events):
+            bit = 1 << index
+            for item in items:
+                item_masks[item] = item_masks.get(item, 0) | bit
+        return cls(tuple(t for t, _ in events), item_masks, events)
+
+    def __getstate__(self):
+        return (self.times, self.item_masks, self.events)
+
+    def __setstate__(self, state) -> None:
+        self.times, self.item_masks, self.events = state
+
+    def element_windows(
+        self, element: frozenset[int], window_size: int
+    ) -> list[tuple[int, int]]:
+        """Minimal matching windows for one pattern element (the compiled
+        equivalent of :func:`window_matches`)."""
+        if window_size:
+            return window_matches(self.events, element, window_size)
+        # Seed with all valid transaction bits, not -1: an empty element
+        # matches every transaction (as in window_matches), and the
+        # extraction loop below must never walk bits past num_events.
+        mask = (1 << len(self.times)) - 1
+        for item in element:
+            occ = self.item_masks.get(item)
+            if occ is None:
+                return []
+            mask &= occ
+        matches: list[tuple[int, int]] = []
+        times = self.times
+        while mask:
+            low = mask & -mask
+            at = times[low.bit_length() - 1]
+            matches.append((at, at))
+            mask ^= low
+        return matches
+
+
+def compile_timed(
+    sequences: PySequence[TimedEvents],
+) -> list[CompiledTimedSequence]:
+    """Compile every timed history once for a whole mining run."""
+    global TIMED_COMPILE_CALLS
+    TIMED_COMPILE_CALLS += 1
+    return [CompiledTimedSequence.from_events(events) for events in sequences]
+
+
 def contains_timed(
-    events: TimedEvents,
+    events: TimedEvents | CompiledTimedSequence,
     pattern: PySequence[frozenset[int]],
     constraints: TimeConstraints,
 ) -> bool:
@@ -137,14 +227,21 @@ def contains_timed(
 
     Depth-first search over the per-element minimal windows; with a
     max_gap a greedy match can fail where a later one succeeds, so plain
-    greedy matching is not sufficient.
+    greedy matching is not sufficient. Accepts a raw timed history or its
+    compiled form (which resolves windowless element matches by mask AND).
     """
     if not pattern:
         return True
-    per_element = [
-        window_matches(events, element, constraints.window_size)
-        for element in pattern
-    ]
+    if isinstance(events, CompiledTimedSequence):
+        per_element = [
+            events.element_windows(element, constraints.window_size)
+            for element in pattern
+        ]
+    else:
+        per_element = [
+            window_matches(events, element, constraints.window_size)
+            for element in pattern
+        ]
     if any(not m for m in per_element):
         return False
 
@@ -247,6 +344,7 @@ def mine_time_constrained(
     constraints: TimeConstraints = TimeConstraints(),
     *,
     max_pattern_length: int | None = None,
+    strategy: str = "hashtree",
     workers: int = 1,
     chunk_size: int | None = None,
 ) -> list[Pattern]:
@@ -256,13 +354,23 @@ def mine_time_constrained(
     constrained support. With default constraints, the result equals the
     full set of large sequences of the unconstrained problem.
 
-    ``workers``/``chunk_size`` shard the candidate-containment pass over
-    customer partitions exactly as in the core pipeline (``workers=1``
-    serial, ``N > 1`` that many processes, ``0`` all CPUs); the counts
-    are identical for every setting.
+    ``strategy`` selects the containment backend (see module docstring):
+    ``"bitset"`` compiles each history once before the first counting pass
+    and every pass reuses the compiled form; ``"hashtree"``/``"naive"``
+    run the generic per-candidate loop. ``workers``/``chunk_size`` shard
+    the candidate-containment pass over customer partitions exactly as in
+    the core pipeline (``workers=1`` serial, ``N > 1`` that many
+    processes, ``0`` all CPUs); the counts are identical for every
+    setting.
     """
+    from repro.core.counting import COUNTING_STRATEGIES
     from repro.parallel.executor import parallel_count_timed
 
+    if strategy not in COUNTING_STRATEGIES:
+        raise ValueError(
+            f"unknown counting strategy {strategy!r}; "
+            f"expected one of {COUNTING_STRATEGIES}"
+        )
     sequences = build_timed_sequences(transactions)
     num_customers = len(sequences)
     if num_customers == 0:
@@ -276,6 +384,12 @@ def mine_time_constrained(
         (frozenset(itemset),): count for itemset, count in litemsets.items()
     }
 
+    # Once-per-run compilation: every counting pass below scans the
+    # compiled histories; the raw sequences are never rescanned.
+    countable: PySequence = (
+        compile_timed(sequences) if strategy == "bitset" else sequences
+    )
+
     current: list[EventTuple] = list(supports)
     length = 2
     while current and (max_pattern_length is None or length <= max_pattern_length):
@@ -283,7 +397,7 @@ def mine_time_constrained(
         if not candidates:
             break
         counts: dict[EventTuple, int] = parallel_count_timed(
-            sequences,
+            countable,
             candidates,
             constraints,
             workers=workers,

@@ -12,6 +12,15 @@ along in the initializer, once per worker. Either way a task returns a
 sparse ``{candidate: count}`` dict (zero counts are dropped on the wire
 and restored in the merge).
 
+The database handed in may be the raw transformed sequence list or a
+:class:`~repro.core.bitset.CompiledDatabase` (the bitset strategy's
+once-per-run compiled form; likewise compiled timed histories for the
+constrained pass). Slicing a compiled database yields a compiled shard
+with zero recompilation, so under ``fork`` the workers inherit the
+parent's compiled bitmasks copy-on-write and under ``spawn`` compiled
+shards are pickled exactly like raw ones — either way each customer is
+compiled once per run, in the parent.
+
 The worker entry points are module-level functions so they are picklable
 under every ``multiprocessing`` start method.
 

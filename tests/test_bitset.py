@@ -1,0 +1,250 @@
+"""Unit and property tests for the bitset-compiled database layer.
+
+Covers the bitmask primitives against their reference implementations
+(``first_after`` via bit-ops must equal the occurrence-index probe on
+empty and edge masks, and on >64-event sequences crossing machine-word
+boundaries), the compiled database container (slicing, pickling), and the
+once-per-mining-run compilation contract via the module compile counters.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitset
+from repro.core.bitset import CompiledDatabase, CompiledSequence, ensure_compiled
+from repro.core.counting import count_candidates, count_length2
+from repro.core.miner import MiningParams, mine
+from repro.core.phase import CountingOptions
+from repro.core.sequence import (
+    OccurrenceIndex,
+    earliest_end_index,
+    id_sequence_contains,
+    latest_start_index,
+)
+from repro.db.database import SequenceDatabase
+from tests import strategies as my
+
+
+def events(*ids_per_event):
+    return tuple(frozenset(ids) for ids in ids_per_event)
+
+
+class TestFirstAfter:
+    def test_unknown_id_is_none(self):
+        cs = CompiledSequence.from_events(events({1}, {2}))
+        assert cs.first_after(99, -1) is None
+
+    def test_empty_sequence(self):
+        cs = CompiledSequence.from_events(())
+        assert cs.num_events == 0
+        assert cs.first_after(1, -1) is None
+        assert cs.contains((1,)) is False
+
+    def test_from_start(self):
+        cs = CompiledSequence.from_events(events({1}, {2}, {1}))
+        assert cs.first_after(1, -1) == 0
+        assert cs.first_after(2, -1) == 1
+
+    def test_strictly_after(self):
+        cs = CompiledSequence.from_events(events({1}, {2}, {1}))
+        assert cs.first_after(1, 0) == 2
+        assert cs.first_after(1, 2) is None  # after the last occurrence
+        assert cs.first_after(2, 1) is None
+
+    def test_beyond_end(self):
+        cs = CompiledSequence.from_events(events({1}))
+        assert cs.first_after(1, 5) is None
+
+    def test_matches_occurrence_index_past_word_boundary(self):
+        # 70 events: occurrences straddle the 64-bit machine-word boundary,
+        # which arbitrary-precision masks must not care about.
+        seq = events(*[{1} if i % 7 == 0 else {2} for i in range(70)])
+        cs = CompiledSequence.from_events(seq)
+        index = OccurrenceIndex(seq)
+        for after in range(-1, 70):
+            assert cs.first_after(1, after) == index.first_after(1, after)
+            assert cs.first_after(2, after) == index.first_after(2, after)
+
+    @given(my.id_event_sequences(), st.integers(1, 8), st.integers(-1, 7))
+    @settings(max_examples=120)
+    def test_property_matches_occurrence_index(self, seq, litemset_id, after):
+        cs = CompiledSequence.from_events(seq)
+        index = OccurrenceIndex(seq)
+        assert cs.first_after(litemset_id, after) == index.first_after(
+            litemset_id, after
+        )
+
+
+class TestWholePatternPrimitives:
+    @given(my.id_event_sequences(), my.id_sequences())
+    @settings(max_examples=150)
+    def test_contains_matches_greedy_reference(self, seq, pattern):
+        cs = CompiledSequence.from_events(seq)
+        assert cs.contains(pattern) == id_sequence_contains(pattern, seq)
+
+    @given(my.id_event_sequences(), my.id_sequences())
+    @settings(max_examples=150)
+    def test_earliest_end_matches_reference(self, seq, pattern):
+        cs = CompiledSequence.from_events(seq)
+        assert cs.earliest_end_index(pattern) == earliest_end_index(pattern, seq)
+
+    @given(my.id_event_sequences(), my.id_sequences())
+    @settings(max_examples=150)
+    def test_latest_start_matches_reference(self, seq, pattern):
+        cs = CompiledSequence.from_events(seq)
+        assert cs.latest_start_index(pattern) == latest_start_index(pattern, seq)
+
+    def test_long_pattern_across_word_boundary(self):
+        seq = events(*[{i % 5} for i in range(130)])
+        cs = CompiledSequence.from_events(seq)
+        pattern = (0, 1, 2, 3, 4) * 5
+        assert cs.contains(pattern)
+        assert cs.earliest_end_index(pattern) == earliest_end_index(pattern, seq)
+        assert cs.latest_start_index(pattern) == latest_start_index(pattern, seq)
+
+    @given(my.id_event_sequences())
+    @settings(max_examples=100)
+    def test_occurring_pairs_match_sweep(self, seq):
+        cs = CompiledSequence.from_events(seq)
+        assert set(cs.occurring_pairs()) == set(count_length2([seq]))
+
+    def test_ids(self):
+        cs = CompiledSequence.from_events(events({1, 3}, {2}))
+        assert set(cs.ids()) == {1, 2, 3}
+
+
+class TestCompiledDatabase:
+    SEQS = [
+        events({1}, {2}, {1}),
+        events({2, 3}, {1}),
+        events({3}, {3}, {2}),
+    ]
+
+    def test_len_iter_index(self):
+        db = CompiledDatabase.compile(self.SEQS)
+        assert len(db) == 3
+        assert all(isinstance(c, CompiledSequence) for c in db)
+        assert db[1].contains((2, 1))
+
+    def test_slice_is_compiled_shard(self):
+        db = CompiledDatabase.compile(self.SEQS)
+        shard = db[1:3]
+        assert isinstance(shard, CompiledDatabase)
+        assert len(shard) == 2
+        assert shard[0] is db[1]  # no recompilation, same objects
+
+    def test_ensure_compiled_passthrough(self):
+        db = CompiledDatabase.compile(self.SEQS)
+        before = bitset.COMPILE_CALLS
+        assert ensure_compiled(db) is db
+        assert bitset.COMPILE_CALLS == before
+
+    def test_pickle_roundtrip(self):
+        # The spawn start method ships compiled shards through the pool
+        # initializer, so the compiled forms must pickle faithfully.
+        db = CompiledDatabase.compile(self.SEQS)
+        clone = pickle.loads(pickle.dumps(db))
+        assert len(clone) == len(db)
+        for original, copied in zip(db, clone):
+            assert copied.masks == original.masks
+            assert copied.num_events == original.num_events
+
+    def test_counting_accepts_compiled_input(self):
+        db = CompiledDatabase.compile(self.SEQS)
+        candidates = [(1, 2), (2, 1), (3, 2), (9, 9)]
+        raw = count_candidates(self.SEQS, candidates)
+        for strategy in ("bitset", "naive", "hashtree"):
+            assert count_candidates(db, candidates, strategy=strategy) == raw
+        assert count_length2(db) == count_length2(self.SEQS)
+
+
+class TestCompileOncePerRun:
+    """The acceptance contract: one compile call per mining run, no
+    per-pass index reconstruction on the bitset path."""
+
+    @staticmethod
+    def _multi_pass_db():
+        # Long shared prefixes force several counting passes (k >= 4).
+        return SequenceDatabase.from_sequences([
+            [(1,), (2,), (3,), (4,), (5,)],
+            [(1,), (2,), (3,), (4,)],
+            [(1,), (2,), (3,), (4,), (5,)],
+        ])
+
+    def test_one_compile_for_multi_pass_mine(self):
+        db = self._multi_pass_db()
+        for algorithm in ("aprioriall", "apriorisome", "dynamicsome"):
+            before = bitset.COMPILE_CALLS
+            result = mine(
+                db,
+                MiningParams(
+                    minsup=0.6,
+                    algorithm=algorithm,
+                    counting=CountingOptions(strategy="bitset"),
+                ),
+            )
+            assert max(result.large_counts_by_length) >= 4  # really multi-pass
+            assert bitset.COMPILE_CALLS - before == 1, algorithm
+
+    def test_one_compile_with_parallel_workers(self):
+        # The parent compiles once; shards are slices of the compiled
+        # database, so forked/spawned workers never recompile in-parent.
+        db = self._multi_pass_db()
+        before = bitset.COMPILE_CALLS
+        mine(
+            db,
+            MiningParams(
+                minsup=0.6,
+                counting=CountingOptions(
+                    strategy="bitset", workers=2, chunk_size=1
+                ),
+            ),
+        )
+        assert bitset.COMPILE_CALLS - before == 1
+
+    def test_non_bitset_strategies_never_compile(self):
+        db = self._multi_pass_db()
+        before = bitset.COMPILE_CALLS
+        mine(db, MiningParams(minsup=0.6))
+        mine(db, MiningParams(minsup=0.6, counting=CountingOptions(strategy="naive")))
+        assert bitset.COMPILE_CALLS == before
+
+    def test_timed_empty_element_matches_raw_path(self):
+        # An empty pattern element matches every transaction in the raw
+        # window sweep; the compiled mask path must agree instead of
+        # walking bits past the end of the history.
+        from repro.extensions.timeconstraints import (
+            CompiledTimedSequence,
+            TimeConstraints,
+            contains_timed,
+            window_matches,
+        )
+
+        events = ((1, frozenset({1})), (3, frozenset({2})))
+        compiled = CompiledTimedSequence.from_events(events)
+        empty = frozenset()
+        assert compiled.element_windows(empty, 0) == window_matches(events, empty, 0)
+        assert contains_timed(compiled, (empty,), TimeConstraints()) == contains_timed(
+            events, (empty,), TimeConstraints()
+        )
+
+    def test_timed_mining_compiles_once(self):
+        from repro.db.records import Transaction
+        from repro.extensions import timeconstraints as tc
+
+        rows = [
+            Transaction(customer_id=cid, transaction_time=when, items=items)
+            for cid, history in enumerate([
+                [(1, (1,)), (2, (2,)), (3, (3,)), (4, (4,))],
+                [(1, (1,)), (3, (2,)), (5, (3,)), (7, (4,))],
+            ])
+            for when, items in history
+        ]
+        before = tc.TIMED_COMPILE_CALLS
+        tc.mine_time_constrained(rows, 0.5, strategy="bitset")
+        assert tc.TIMED_COMPILE_CALLS - before == 1
+        # Non-bitset strategies never touch the timed compiler.
+        tc.mine_time_constrained(rows, 0.5)
+        assert tc.TIMED_COMPILE_CALLS - before == 1

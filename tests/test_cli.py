@@ -66,6 +66,24 @@ class TestMine:
         assert "<(30)(90)>" in out
         assert "<(30)(40 70)>" in out
 
+    @pytest.mark.parametrize("strategy", ["hashtree", "naive", "bitset"])
+    def test_mine_strategy_flag(self, paper_spmf, capsys, strategy):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--strategy", strategy,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<(30)(90)>" in out
+        assert "<(30)(40 70)>" in out
+
+    def test_mine_unknown_strategy_rejected(self, paper_spmf):
+        with pytest.raises(SystemExit):
+            main([
+                "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+                "--strategy", "bogus",
+            ])
+
     def test_mine_to_file(self, paper_spmf, tmp_path):
         out = tmp_path / "patterns.txt"
         code = main([

@@ -1,0 +1,117 @@
+"""Three-way counting-strategy equivalence: bitset ≡ hashtree ≡ naive.
+
+The counting backends must be byte-identical in what they count — for
+every algorithm, serially and sharded-parallel, at the raw engine level
+and end-to-end through the miner, and for time-constrained counting. The
+hashtree strategy is the anchor (its equivalence to the brute-force
+oracle is established in test_equivalence.py); the other two must match
+it exactly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting import COUNTING_STRATEGIES, count_candidates
+from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.core.phase import CountingOptions
+from repro.extensions.timeconstraints import TimeConstraints, mine_time_constrained
+from repro.io.csvio import database_to_transactions
+from tests import strategies as my
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def mined_counts(db, minsup, algorithm, **counting_kwargs):
+    result = mine(
+        db,
+        MiningParams(
+            minsup=minsup,
+            algorithm=algorithm,
+            counting=CountingOptions(**counting_kwargs),
+        ),
+    )
+    return (
+        [(p.sequence, p.count) for p in result.patterns],
+        result.large_counts_by_length,
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+@given(db=my.databases(), minsup=my.minsups())
+@RELAXED
+def test_three_strategies_identical_serial(db, minsup, algorithm):
+    anchor = mined_counts(db, minsup, algorithm, strategy="hashtree")
+    for strategy in ("bitset", "naive"):
+        assert mined_counts(db, minsup, algorithm, strategy=strategy) == anchor, (
+            strategy
+        )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+@given(db=my.databases(), minsup=my.minsups())
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_bitset_identical_with_two_workers(db, minsup, algorithm):
+    serial = mined_counts(db, minsup, algorithm, strategy="bitset")
+    parallel = mined_counts(
+        db, minsup, algorithm, strategy="bitset", workers=2, chunk_size=2
+    )
+    assert parallel == serial
+
+
+@given(
+    sequences=st.lists(my.id_event_sequences(max_id=5), max_size=8),
+    candidates=st.sets(my.id_sequences(max_id=5, max_length=3), max_size=12),
+)
+@RELAXED
+def test_raw_engine_three_way_equivalence(sequences, candidates):
+    """count_candidates itself (no miner, mixed candidate lengths): every
+    strategy returns the same dict, zeros included."""
+    anchor = count_candidates(sequences, candidates, strategy="hashtree")
+    for strategy in COUNTING_STRATEGIES:
+        assert count_candidates(sequences, candidates, strategy=strategy) == anchor
+
+
+TIMED_CONSTRAINTS = [
+    TimeConstraints(),
+    TimeConstraints(min_gap=1),
+    TimeConstraints(max_gap=3),
+    TimeConstraints(window_size=1),
+    TimeConstraints(min_gap=1, max_gap=4, window_size=1),
+]
+
+
+@pytest.mark.parametrize("constraints", TIMED_CONSTRAINTS)
+@given(db=my.databases(max_customers=4, max_events=3))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_timed_bitset_equals_generic(db, constraints):
+    rows = list(database_to_transactions(db))
+    anchor = mine_time_constrained(rows, 0.4, constraints)
+    assert mine_time_constrained(rows, 0.4, constraints, strategy="bitset") == anchor
+    assert (
+        mine_time_constrained(
+            rows, 0.4, constraints, strategy="bitset", workers=2, chunk_size=1
+        )
+        == anchor
+    )
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError, match="unknown counting strategy"):
+        count_candidates([], [(1, 2)], strategy="bogus")
+    with pytest.raises(ValueError, match="unknown counting strategy"):
+        CountingOptions(strategy="bogus")
+    with pytest.raises(ValueError, match="unknown counting strategy"):
+        mine_time_constrained([], 0.5, strategy="bogus")
