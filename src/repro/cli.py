@@ -141,12 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
     mine_cmd.add_argument("--dynamic-step", type=int, default=2)
     mine_cmd.add_argument("--max-length", type=int, default=None)
     mine_cmd.add_argument("--strategy",
-                          choices=("hashtree", "naive", "bitset"),
+                          choices=("hashtree", "naive", "bitset", "vertical"),
                           default="hashtree",
                           help="support-counting backend: the paper's "
                           "candidate hash tree, the quadratic reference, "
-                          "or the bitset-compiled database (compile "
-                          "customers once, count with integer bit-ops)")
+                          "the bitset-compiled database (compile "
+                          "customers once, count with integer bit-ops), "
+                          "or the vertical id-list format (invert once, "
+                          "count each candidate by joining its parents' "
+                          "memoized support lists — no database scan)")
     mine_cmd.add_argument("--workers", type=int, default=1,
                           help="worker processes for support counting "
                           "(1 = serial, 0 = all CPUs)")

@@ -40,7 +40,8 @@ def apriori_all(
     result = SequencePhaseResult(stats=stats)
 
     # One-time per-run database preparation: the bitset strategy compiles
-    # every customer into occurrence bitmasks here, so the per-length
+    # every customer into occurrence bitmasks here (the vertical strategy
+    # additionally inverts them into per-id lists), so the per-length
     # passes below never rebuild per-customer indexes.
     sequences = counting.prepare_sequences(tdb.sequences)
 
@@ -69,14 +70,21 @@ def apriori_all(
             num_candidates = len(l1) * len(l1)
             counts = count_length2(sequences, **counting.sharding_kwargs())
         else:
-            candidates = apriori_generate(result.large_by_length[k - 1].keys())
+            candidates, parents = apriori_generate(
+                result.large_by_length[k - 1].keys(), with_parents=True
+            )
             num_candidates = len(candidates)
             if not candidates:
                 stats.record_generated(k, 0)
                 break
-            counts = count_candidates(sequences, candidates, **counting.kwargs())
+            counts = count_candidates(
+                sequences, candidates, parents=parents, **counting.kwargs()
+            )
         stats.record_generated(k, num_candidates)
         large = filter_large(counts, threshold)
+        # Stateful backends (vertical) drop the non-surviving candidates'
+        # memoized lists: only large sequences join the next pass.
+        counting.note_large(sequences, large)
         stats.record_pass(
             length=k,
             phase="forward",

@@ -86,8 +86,11 @@ def apriori_some(
     stats = AlgorithmStats("apriorisome")
     result = SequencePhaseResult(stats=stats)
 
-    # Bitset strategy: compile the database once for the whole run
-    # (forward passes and the backward phase all scan the compiled form).
+    # Bitset/vertical strategies: compile (and invert) the database once
+    # for the whole run — forward passes and the backward phase all reuse
+    # the prepared form. Under the vertical strategy the backward phase's
+    # skipped lengths find no memoized parent lists and rebuild them from
+    # the base vertical lists (see repro.core.vertical).
     sequences = counting.prepare_sequences(tdb.sequences)
 
     l1 = tdb.catalog.one_sequence_supports()
@@ -120,10 +123,14 @@ def apriori_some(
             candidates = sorted(counts)
         else:
             if (k - 1) in counted:
-                candidates = apriori_generate(result.large_by_length[k - 1].keys())
+                candidates, parents = apriori_generate(
+                    result.large_by_length[k - 1].keys(), with_parents=True
+                )
             else:
                 previous = candidates_by_length[k - 1]
-                candidates = apriori_generate(previous, prune_universe=previous)
+                candidates, parents = apriori_generate(
+                    previous, prune_universe=previous, with_parents=True
+                )
             num_candidates = len(candidates)
         stats.record_generated(k, num_candidates)
         if not candidates:
@@ -133,9 +140,10 @@ def apriori_some(
             if k != 2:
                 started = time.perf_counter()
                 counts = count_candidates(
-                    sequences, candidates, **counting.kwargs()
+                    sequences, candidates, parents=parents, **counting.kwargs()
                 )
             large = filter_large(counts, threshold)
+            counting.note_large(sequences, large)
             stats.record_pass(
                 length=k,
                 phase="forward",

@@ -2,7 +2,7 @@
 
 One *pass* = one scan of the transformed database that counts how many
 customers contain each candidate (a customer contributes at most 1 to each
-candidate, per the paper's support definition). Three interchangeable
+candidate, per the paper's support definition). Four interchangeable
 strategies are provided:
 
 * ``"hashtree"`` — the paper's approach: build a
@@ -14,31 +14,42 @@ strategies are provided:
   compiled **once per mining run** into per-id occurrence bitmasks, and
   every matching primitive becomes C-speed integer shift/AND ops. No
   per-pass index reconstruction.
+* ``"vertical"`` — candidate-driven instead of data-driven: the compiled
+  database is inverted **once per mining run** into per-id vertical
+  lists, and a candidate's support is the size of the join of its two
+  join-parents' memoized support lists (:mod:`~repro.core.vertical`).
+  Only the customers that supported both parents are touched — no
+  database scan at all — and the lists roll forward pass to pass.
 * ``"naive"`` — test every candidate against every customer with the
   greedy matcher. Quadratic, but simple; kept as the reference
   implementation and as the baseline of the counting ablation bench.
 
 All strategies return identical counts (property tests enforce this).
 
-The ``sequences`` argument of every engine accepts either the raw
-transformed sequence list or an already-compiled
-:class:`~repro.core.bitset.CompiledDatabase`; the algorithms compile once
-up front (via :meth:`CountingOptions.prepare_sequences`) when the bitset
-strategy is selected, so the per-pass calls here never recompile.
+The ``sequences`` argument of every engine accepts the raw transformed
+sequence list, an already-compiled
+:class:`~repro.core.bitset.CompiledDatabase`, or an already-inverted
+:class:`~repro.core.vertical.VerticalDatabase`; the algorithms prepare
+the right form once up front (via
+:meth:`CountingOptions.prepare_sequences`), so the per-pass calls here
+never recompile or re-invert.
 
-Either strategy can run sharded-parallel: with ``workers > 1`` (or
+Every strategy can run sharded-parallel: with ``workers > 1`` (or
 ``workers=0`` for all CPUs) the pass is routed through
-:mod:`repro.parallel`, which partitions the customers into disjoint
-shards, counts each shard in a ``multiprocessing`` worker, and sums the
-per-shard counts — exact, because customer support is additive across
-disjoint customer partitions. ``chunk_size`` optionally fixes the number
-of customers per shard (default: one near-equal shard per worker).
-``workers=1`` is the serial engine, in-process, no pool.
+:mod:`repro.parallel`. The scanning strategies partition the *customers*
+into disjoint shards, count each shard in a ``multiprocessing`` worker,
+and sum the per-shard counts — exact, because customer support is
+additive across disjoint customer partitions. The vertical strategy
+partitions the *candidates* instead (each parent join is independent and
+already customer-complete) and merges disjoint count dicts.
+``chunk_size`` optionally fixes the number of items (customers, or
+candidates for vertical) per shard; ``workers=1`` is the serial engine,
+in-process, no pool.
 """
 
 from __future__ import annotations
 
-from typing import Collection, Literal, Sequence as PySequence, Union
+from typing import Collection, Literal, Mapping, Sequence as PySequence, Union
 
 from repro.core.bitset import CompiledDatabase, CompiledSequence, ensure_compiled
 from repro.core.hashtree import (
@@ -47,16 +58,30 @@ from repro.core.hashtree import (
     SequenceHashTree,
 )
 from repro.core.sequence import IdSequence, OccurrenceIndex, id_sequence_contains
+from repro.core.vertical import (
+    VerticalDatabase,
+    count_candidates_vertical,
+    ensure_vertical,
+)
 
-CountingStrategy = Literal["hashtree", "naive", "bitset"]
+CountingStrategy = Literal["hashtree", "naive", "bitset", "vertical"]
 
-COUNTING_STRATEGIES: tuple[CountingStrategy, ...] = ("hashtree", "naive", "bitset")
+COUNTING_STRATEGIES: tuple[CountingStrategy, ...] = (
+    "hashtree",
+    "naive",
+    "bitset",
+    "vertical",
+)
 
 TransformedSequences = PySequence[tuple[frozenset[int], ...]]
 
 #: What every counting engine scans: raw transformed sequences, or the
-#: bitset-compiled form of the same database.
-CountableSequences = Union[TransformedSequences, CompiledDatabase]
+#: bitset-compiled or vertical-inverted form of the same database.
+CountableSequences = Union[TransformedSequences, CompiledDatabase, VerticalDatabase]
+
+#: Join parentage for the candidate-driven vertical engine, as reported
+#: by ``apriori_generate(..., with_parents=True)``.
+CandidateParents = Mapping[IdSequence, tuple[IdSequence, IdSequence]]
 
 
 def _build_trees(
@@ -85,6 +110,7 @@ def count_candidates(
     branch_factor: int = DEFAULT_BRANCH_FACTOR,
     workers: int = 1,
     chunk_size: int | None = None,
+    parents: CandidateParents | None = None,
 ) -> dict[IdSequence, int]:
     """Count customer support of every candidate in one database pass.
 
@@ -92,6 +118,13 @@ def count_candidates(
     so callers can filter against a threshold without ``.get`` defaults.
     With ``workers != 1`` the pass runs sharded-parallel (see module
     docstring); the counts are identical either way.
+
+    ``parents`` optionally supplies each candidate's two join parents
+    (from ``apriori_generate(..., with_parents=True)``). Only the
+    candidate-driven ``"vertical"`` strategy consumes it; when absent it
+    derives the parentage by slicing, so callers that only kept the
+    candidates (the backward phase, raw engine calls) need no extra
+    bookkeeping.
     """
     if workers != 1:
         from repro.parallel.executor import parallel_count_candidates
@@ -104,7 +137,18 @@ def count_candidates(
             strategy=strategy,
             leaf_capacity=leaf_capacity,
             branch_factor=branch_factor,
+            parents=parents,
         )
+    if strategy == "vertical":
+        if not candidates:
+            return {}
+        return count_candidates_vertical(
+            ensure_vertical(sequences), candidates, parents=parents
+        )
+    if isinstance(sequences, VerticalDatabase):
+        # A vertical-prepared database keeps the row-oriented compiled
+        # form alongside; the scanning strategies use that.
+        sequences = sequences.compiled
     counts: dict[IdSequence, int] = {candidate: 0 for candidate in candidates}
     if not counts:
         return counts
@@ -177,8 +221,12 @@ def count_length2(
     |L_1|² as the candidate count. Equivalence with the generic engine
     over the materialized ``C_2`` is enforced by a property test.
     ``workers``/``chunk_size`` shard the pass exactly as in
-    :func:`count_candidates`.
+    :func:`count_candidates`. A vertical-prepared database is unwrapped
+    to its compiled form first — the occurring-pairs sweep is inherently
+    per-customer, and the inversion keeps the compiled form alongside.
     """
+    if isinstance(sequences, VerticalDatabase):
+        sequences = sequences.compiled
     if workers != 1:
         from repro.parallel.executor import parallel_count_length2
 

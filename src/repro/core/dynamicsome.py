@@ -42,6 +42,7 @@ from repro.core.sequence import (
     latest_start_index,
 )
 from repro.core.stats import AlgorithmStats
+from repro.core.vertical import VerticalDatabase, count_on_the_fly_vertical
 from repro.db.transform import TransformedDatabase
 
 
@@ -89,8 +90,9 @@ def dynamic_some(
     stats = AlgorithmStats("dynamicsome")
     result = SequencePhaseResult(stats=stats)
 
-    # Bitset strategy: compile the database once; the initialization,
-    # forward (on-the-fly), and backward passes all scan the compiled form.
+    # Bitset/vertical strategies: compile (and invert) the database once;
+    # the initialization, forward (on-the-fly), and backward passes all
+    # reuse the prepared form.
     sequences = counting.prepare_sequences(tdb.sequences)
 
     l1 = tdb.catalog.one_sequence_supports()
@@ -121,15 +123,20 @@ def dynamic_some(
             num_candidates = len(l1) * len(l1)
             candidates = sorted(counts)
         else:
-            candidates = apriori_generate(previous.keys())
+            candidates, parents = apriori_generate(
+                previous.keys(), with_parents=True
+            )
             num_candidates = len(candidates)
             if not candidates:
                 stats.record_generated(k, 0)
                 break
-            counts = count_candidates(sequences, candidates, **counting.kwargs())
+            counts = count_candidates(
+                sequences, candidates, parents=parents, **counting.kwargs()
+            )
         stats.record_generated(k, num_candidates)
         candidates_by_length[k] = candidates
         large = filter_large(counts, threshold)
+        counting.note_large(sequences, large)
         stats.record_pass(
             length=k,
             phase="initialization",
@@ -171,6 +178,7 @@ def dynamic_some(
             counting,
         )
         large = filter_large(counts, threshold)
+        counting.note_large(sequences, large)
         stats.record_generated(target, len(counts))
         stats.record_pass(
             length=target,
@@ -229,8 +237,15 @@ def _count_on_the_fly(
     probe the compiled bitmasks directly and the join coordinates
     (earliest end of the head, latest start of the tail) are mask
     arithmetic; over raw sequences a per-customer occurrence index is
-    built, as in the other engines.
+    built, as in the other engines. Over a
+    :class:`~repro.core.vertical.VerticalDatabase` the customer loop
+    disappears entirely: heads' earliest-end and tails' latest-start
+    lists come from the vertical caches and each head/tail pair is
+    joined list-against-list (see
+    :func:`repro.core.vertical.count_on_the_fly_vertical`).
     """
+    if isinstance(sequences, VerticalDatabase):
+        return count_on_the_fly_vertical(sequences, large_k, large_step)
     tree_k = SequenceHashTree(
         large_k,
         leaf_capacity=counting.leaf_capacity,

@@ -59,11 +59,15 @@ class ContainmentIndex:
     A pattern can only be contained in a sequence that mentions every one
     of the pattern's items, so candidate supersequences are found by
     intersecting per-item posting lists before running the exact greedy
-    containment test.
+    containment test. Entry lengths are recorded at :meth:`add` time, so
+    the intersection survivors are pre-filtered by length (a container
+    must have at least as many events as the pattern) before any entry is
+    fetched for the exact probe.
     """
 
     def __init__(self) -> None:
         self._entries: list[EventsTuple] = []
+        self._lengths: list[int] = []
         self._postings: dict[int, set[int]] = {}
 
     def __len__(self) -> int:
@@ -72,6 +76,7 @@ class ContainmentIndex:
     def add(self, events: EventsTuple) -> None:
         index = len(self._entries)
         self._entries.append(events)
+        self._lengths.append(len(events))
         for event in events:
             for item in event:
                 self._postings.setdefault(item, set()).add(index)
@@ -80,29 +85,35 @@ class ContainmentIndex:
         for events in sequences:
             self.add(events)
 
-    def _candidate_indices(self, pattern: EventsTuple) -> set[int]:
+    def _candidate_indices(
+        self, pattern: EventsTuple, min_length: int
+    ) -> list[int]:
+        """Indices of stored sequences that mention every pattern item and
+        are at least ``min_length`` events long — the only entries worth
+        the exact containment probe."""
         items = set().union(*pattern) if pattern else set()
         postings: list[set[int]] = []
         for item in items:
             posting = self._postings.get(item)
             if posting is None:
-                return set()
+                return []
             postings.append(posting)
         if not postings:
-            return set()
+            return []
         postings.sort(key=len)
         result = set(postings[0])
         for posting in postings[1:]:
             result &= posting
             if not result:
                 break
-        return result
+        lengths = self._lengths
+        return [index for index in result if lengths[index] >= min_length]
 
     def contains_proper_super_of(self, pattern: EventsTuple) -> bool:
         """True iff some stored sequence properly contains ``pattern``."""
-        for index in self._candidate_indices(pattern):
+        for index in self._candidate_indices(pattern, len(pattern)):
             entry = self._entries[index]
-            if len(entry) < len(pattern) or entry == pattern:
+            if entry == pattern:
                 continue
             if sequence_contains(entry, pattern):
                 return True
@@ -110,11 +121,8 @@ class ContainmentIndex:
 
     def contains_super_of(self, pattern: EventsTuple) -> bool:
         """True iff some stored sequence contains ``pattern`` (or equals it)."""
-        for index in self._candidate_indices(pattern):
-            entry = self._entries[index]
-            if len(entry) < len(pattern):
-                continue
-            if sequence_contains(entry, pattern):
+        for index in self._candidate_indices(pattern, len(pattern)):
+            if sequence_contains(self._entries[index], pattern):
                 return True
         return False
 

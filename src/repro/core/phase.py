@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Collection
+
 from repro.core.counting import (
     COUNTING_STRATEGIES,
     CountableSequences,
@@ -22,6 +24,7 @@ from repro.core.counting import (
 from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
 from repro.core.sequence import IdSequence
 from repro.core.stats import AlgorithmStats
+from repro.core.vertical import VerticalDatabase, ensure_vertical
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,14 +34,18 @@ class CountingOptions:
     ``strategy`` picks the per-pass engine: ``"hashtree"`` (the paper's
     candidate hash tree over a per-pass occurrence index), ``"bitset"``
     (the same tree probed against the once-per-run compiled bitmask
-    database — see :mod:`repro.core.bitset`), or ``"naive"`` (the
-    quadratic reference). ``workers`` selects the sharded-parallel
+    database — see :mod:`repro.core.bitset`), ``"vertical"`` (the
+    once-per-run inverted id-list database with cross-pass support-list
+    memoization — candidates are counted by joining their parents' lists,
+    no database scan; see :mod:`repro.core.vertical`), or ``"naive"``
+    (the quadratic reference). ``workers`` selects the sharded-parallel
     executor: ``1`` (default) counts serially in-process, ``N > 1``
-    partitions the customers into shards counted by ``N`` worker
-    processes, and ``0`` means one worker per CPU. ``chunk_size``
-    optionally fixes the customers-per-shard (default: one near-equal
-    shard per worker). Counts are identical for every setting; only
-    wall-clock time changes. See :mod:`repro.parallel`.
+    partitions the work into shards counted by ``N`` worker processes
+    (customer shards for the scanning strategies, candidate shards for
+    vertical), and ``0`` means one worker per CPU. ``chunk_size``
+    optionally fixes the items-per-shard (default: one near-equal shard
+    per worker). Counts are identical for every setting; only wall-clock
+    time changes. See :mod:`repro.parallel`.
     """
 
     strategy: CountingStrategy = "hashtree"
@@ -66,14 +73,34 @@ class CountingOptions:
         The bitset strategy compiles the transformed sequences into the
         bitmask form exactly once here — every subsequent pass (forward,
         on-the-fly, backward, sharded-parallel) reuses the compiled
-        database instead of rebuilding per-customer indexes. The other
+        database instead of rebuilding per-customer indexes. The vertical
+        strategy additionally inverts the compiled form into per-id
+        vertical lists, again exactly once, and the returned
+        :class:`~repro.core.vertical.VerticalDatabase` carries the
+        cross-pass support-list cache for the whole run. The other
         strategies scan the raw sequences unchanged.
         """
         if self.strategy == "bitset":
             from repro.core.bitset import ensure_compiled
 
             return ensure_compiled(sequences)
+        if self.strategy == "vertical":
+            return ensure_vertical(sequences)
         return sequences
+
+    def note_large(
+        self, sequences: CountableSequences, large: Collection[IdSequence]
+    ) -> None:
+        """Tell a stateful backend which candidates survived a pass.
+
+        The vertical backend memoizes a support list per counted
+        candidate; only the *large* ones can be join parents of the next
+        pass, so the losers' lists are dropped here. A no-op for the
+        stateless strategies — algorithms call it unconditionally after
+        every support filter.
+        """
+        if isinstance(sequences, VerticalDatabase):
+            sequences.cache.retain_surviving(large)
 
     def kwargs(self) -> dict:
         """Keyword arguments for :func:`repro.core.counting.count_candidates`."""

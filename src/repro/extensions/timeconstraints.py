@@ -371,6 +371,14 @@ def mine_time_constrained(
             f"unknown counting strategy {strategy!r}; "
             f"expected one of {COUNTING_STRATEGIES}"
         )
+    if strategy == "vertical":
+        # The vertical id-list joins decide plain subsequence containment;
+        # gap/window constraints need the event-wise timed matcher, so the
+        # constrained pipeline supports the scanning backends only.
+        raise ValueError(
+            "counting strategy 'vertical' is not supported for "
+            "time-constrained mining; use 'hashtree', 'naive', or 'bitset'"
+        )
     sequences = build_timed_sequences(transactions)
     num_customers = len(sequences)
     if num_customers == 0:

@@ -21,6 +21,18 @@ parent's compiled bitmasks copy-on-write and under ``spawn`` compiled
 shards are pickled exactly like raw ones — either way each customer is
 compiled once per run, in the parent.
 
+The ``"vertical"`` strategy shards differently: its per-candidate parent
+joins are already complete over all customers, so the pass partitions
+the **candidates** (``chunk_size`` then means candidates per shard) and
+ships the whole :class:`~repro.core.vertical.VerticalDatabase` — inverted
+once, in the parent — to every worker (inherited copy-on-write under
+``fork``). Each worker counts a disjoint candidate subset, so the merged
+dicts never overlap. One honest caveat: the parent's cross-pass
+support-list cache is not updated by worker-side counting, so a
+parallel vertical pass rebuilds its parent lists inside the workers
+(memoized per worker, shared across that worker's candidates) instead of
+rolling lists forward pass to pass as the serial engine does.
+
 The worker entry points are module-level functions so they are picklable
 under every ``multiprocessing`` start method.
 
@@ -94,10 +106,17 @@ def _init_worker(sequences, kind: str, state: tuple) -> None:
 
 
 def _run_sharded(sequences, workers: int, chunk_size: int | None,
-                 kind: str, state: tuple, task) -> list[dict]:
-    """Map ``task`` over customer-shard bounds in a fresh worker pool."""
+                 kind: str, state: tuple, task, *,
+                 num_items: int | None = None) -> list[dict]:
+    """Map ``task`` over shard bounds in a fresh worker pool.
+
+    Bounds cover the customers by default; ``num_items`` overrides the
+    sharded dimension (the vertical pass shards candidates instead).
+    """
     global _SEQUENCES
-    bounds = shard_bounds(len(sequences), workers, chunk_size)
+    bounds = shard_bounds(
+        len(sequences) if num_items is None else num_items, workers, chunk_size
+    )
     workers = min(workers, len(bounds))  # never spawn idle processes
     context = _context()
     ship = context.get_start_method() != "fork"
@@ -110,7 +129,7 @@ def _run_sharded(sequences, workers: int, chunk_size: int | None,
         _SEQUENCES = None
 
 
-# --- Generic candidate counting (hashtree / naive strategies) -----------
+# --- Generic candidate counting (customer shards or candidate shards) ----
 
 
 def _count_shard(bounds: tuple[int, int]) -> dict:
@@ -127,6 +146,22 @@ def _count_shard(bounds: tuple[int, int]) -> dict:
     return {candidate: count for candidate, count in counts.items() if count}
 
 
+def _count_vertical_shard(bounds: tuple[int, int]) -> dict:
+    """One candidate shard of a vertical pass: the whole database, a
+    disjoint slice of the candidates. The join parentage is re-derived by
+    slicing in the engine (guaranteed identical to the generator's
+    mapping), so the parents dict never rides the wire."""
+    from repro.core.counting import count_candidates
+
+    (candidates,) = _STATE["vertical"]
+    counts = count_candidates(
+        _SEQUENCES,
+        candidates[bounds[0] : bounds[1]],
+        strategy="vertical",
+    )
+    return {candidate: count for candidate, count in counts.items() if count}
+
+
 def parallel_count_candidates(
     sequences,
     candidates: Collection,
@@ -136,21 +171,37 @@ def parallel_count_candidates(
     strategy: str = "hashtree",
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
     branch_factor: int = DEFAULT_BRANCH_FACTOR,
+    parents=None,
 ) -> dict:
     """Sharded-parallel equivalent of :func:`repro.core.counting.count_candidates`.
 
     Returns a count for every candidate (zeros included) in the same
-    insertion order as the serial engine.
+    insertion order as the serial engine. The scanning strategies shard
+    customers; ``"vertical"`` shards candidates (see module docstring).
+    ``parents`` — the join parentage from ``apriori_generate(...,
+    with_parents=True)`` — is used only on the serial fallback path;
+    sharded workers re-derive it by slicing instead of pickling it.
     """
     from repro.core.counting import count_candidates
+    from repro.core.vertical import VerticalDatabase, ensure_vertical
 
     workers = resolve_workers(workers)
     base = {candidate: 0 for candidate in candidates}
+    if strategy == "vertical":
+        # Invert once, in the parent; workers inherit (fork) or receive
+        # (spawn) the inverted database whole, never a customer slice.
+        if base and len(sequences):
+            sequences = ensure_vertical(sequences)
+        num_items = len(base)
+    else:
+        if isinstance(sequences, VerticalDatabase):
+            sequences = sequences.compiled
+        num_items = len(sequences)
     if (
         not base
-        or not sequences
+        or not len(sequences)
         or workers == 1
-        or len(shard_bounds(len(sequences), workers, chunk_size)) == 1
+        or len(shard_bounds(num_items, workers, chunk_size)) == 1
     ):
         return count_candidates(
             sequences,
@@ -158,11 +209,19 @@ def parallel_count_candidates(
             strategy=strategy,  # type: ignore[arg-type]
             leaf_capacity=leaf_capacity,
             branch_factor=branch_factor,
+            parents=parents,
         )
-    state = (list(base), strategy, leaf_capacity, branch_factor)
-    per_shard = _run_sharded(
-        sequences, workers, chunk_size, "count", state, _count_shard
-    )
+    if strategy == "vertical":
+        state = (list(base),)
+        per_shard = _run_sharded(
+            sequences, workers, chunk_size, "vertical", state,
+            _count_vertical_shard, num_items=num_items,
+        )
+    else:
+        state = (list(base), strategy, leaf_capacity, branch_factor)
+        per_shard = _run_sharded(
+            sequences, workers, chunk_size, "count", state, _count_shard
+        )
     return merge_counts(per_shard, base=base)
 
 

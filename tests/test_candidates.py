@@ -10,6 +10,7 @@ from repro.core.candidates import (
     apriori_generate,
     delete_one_subsequences,
     has_all_subsequences,
+    join_parents,
 )
 
 
@@ -76,6 +77,105 @@ class TestPruneLogic:
         # (1,2,1) has subsequences (2,1), (1,1), (1,2).
         assert has_all_subsequences((1, 2, 1), {(2, 1), (1, 1), (1, 2)})
         assert not has_all_subsequences((1, 2, 1), {(2, 1), (1, 2)})
+
+
+def reference_generate(prev, universe):
+    """Join + full delete-one prune, with no join-parent skip — the
+    specification apriori_generate's optimized prune must match."""
+    prev = sorted(set(prev))
+    out = []
+    for seq in prev:
+        for extender in prev:
+            if seq[1:] == extender[:-1]:
+                candidate = seq + (extender[-1],)
+                if has_all_subsequences(candidate, set(universe)):
+                    out.append(candidate)
+    return sorted(set(out))
+
+
+class TestJoinParentSkip:
+    """The prune probe skips the two join parents (they are in the
+    universe by construction); output must be identical to the full
+    check."""
+
+    @given(
+        st.sets(
+            st.lists(st.integers(1, 4), min_size=2, max_size=2).map(tuple),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=80)
+    def test_identical_output_default_universe(self, large_prev):
+        prev = sorted(large_prev)
+        assert apriori_generate(prev) == reference_generate(prev, prev)
+
+    @given(
+        st.sets(
+            st.lists(st.integers(1, 4), min_size=2, max_size=2).map(tuple),
+            max_size=10,
+        ),
+        st.sets(
+            st.lists(st.integers(1, 4), min_size=2, max_size=2).map(tuple),
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=80)
+    def test_identical_output_explicit_universe(self, large_prev, extra):
+        """Both superset universes (skip engages) and universes missing
+        some of ``prev`` (skip must stand down) match the full check."""
+        prev = sorted(large_prev)
+        for universe in (set(prev) | extra, extra):
+            assert apriori_generate(
+                prev, prune_universe=universe
+            ) == reference_generate(prev, universe)
+
+    def test_universe_missing_a_parent_still_prunes(self):
+        # (1,2,3)'s parents are (1,2) and (2,3); with (1,2) absent from
+        # the universe the candidate must be pruned — the skip only
+        # applies when the parents are provably in the universe.
+        prev = [(1, 2), (2, 3), (1, 3)]
+        universe = {(2, 3), (1, 3)}
+        assert apriori_generate(prev, prune_universe=universe) == []
+
+    def test_skip_join_parents_flag(self):
+        # Interior deletions still probed; the two join slices are not.
+        assert has_all_subsequences(
+            (1, 2, 3), {(1, 3)}, skip_join_parents=True
+        )
+        assert not has_all_subsequences(
+            (1, 2, 3), {(1, 2)}, skip_join_parents=True
+        )
+        # Length-2 candidates have no interior deletions.
+        assert has_all_subsequences((1, 2), set(), skip_join_parents=True)
+
+
+class TestWithParents:
+    def test_parents_are_the_join_slices(self):
+        large = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (1, 3, 5), (2, 3, 4)]
+        candidates, parents = apriori_generate(large, with_parents=True)
+        assert candidates == [(1, 2, 3, 4)]
+        assert parents == {(1, 2, 3, 4): ((1, 2, 3), (2, 3, 4))}
+        assert parents[(1, 2, 3, 4)] == join_parents((1, 2, 3, 4))
+
+    @given(
+        st.sets(
+            st.lists(st.integers(1, 3), min_size=2, max_size=2).map(tuple),
+            max_size=9,
+        )
+    )
+    @settings(max_examples=60)
+    def test_every_candidate_reported_with_its_slices(self, large_prev):
+        candidates, parents = apriori_generate(
+            sorted(large_prev), with_parents=True
+        )
+        assert apriori_generate(sorted(large_prev)) == candidates
+        assert set(parents) == set(candidates)
+        for candidate, (prefix, suffix) in parents.items():
+            assert (prefix, suffix) == (candidate[:-1], candidate[1:])
+            assert prefix in large_prev and suffix in large_prev
+
+    def test_empty(self):
+        assert apriori_generate([], with_parents=True) == ([], {})
 
 
 class TestCompleteness:

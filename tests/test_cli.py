@@ -66,7 +66,9 @@ class TestMine:
         assert "<(30)(90)>" in out
         assert "<(30)(40 70)>" in out
 
-    @pytest.mark.parametrize("strategy", ["hashtree", "naive", "bitset"])
+    @pytest.mark.parametrize(
+        "strategy", ["hashtree", "naive", "bitset", "vertical"]
+    )
     def test_mine_strategy_flag(self, paper_spmf, capsys, strategy):
         code = main([
             "mine", "--input", str(paper_spmf), "--minsup", "0.25",

@@ -50,6 +50,15 @@ class TestContainmentIndex:
         index.add(ev({1}, {2}))
         assert not index.contains_super_of(ev({9}))
 
+    def test_length_prefilter_rejects_short_entries(self):
+        # Every pattern item is mentioned, but no stored entry has enough
+        # events — the length pre-filter must reject before any probe.
+        index = ContainmentIndex()
+        index.add(ev({1}, {2}))
+        index.add(ev({1, 2}))
+        assert not index.contains_super_of(ev({1}, {2}, {1}))
+        assert index.contains_super_of(ev({1}, {2}))
+
     @given(my.sequences(), st.lists(my.sequences(), max_size=8))
     @settings(max_examples=80)
     def test_matches_naive_scan(self, pattern, stored):

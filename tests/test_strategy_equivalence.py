@@ -1,11 +1,15 @@
-"""Three-way counting-strategy equivalence: bitset ≡ hashtree ≡ naive.
+"""Four-way counting-strategy equivalence:
+hashtree ≡ naive ≡ bitset ≡ vertical.
 
 The counting backends must be byte-identical in what they count — for
 every algorithm, serially and sharded-parallel, at the raw engine level
 and end-to-end through the miner, and for time-constrained counting. The
 hashtree strategy is the anchor (its equivalence to the brute-force
-oracle is established in test_equivalence.py); the other two must match
-it exactly.
+oracle is established in test_equivalence.py); the other three must
+match it exactly. The vertical backend is the strongest consumer of
+these tests: it never scans the database, so agreement with the scanning
+engines validates the whole parent-join/memoization machinery, including
+AprioriSome's skipped passes and the backward-phase rebuild fallback.
 """
 
 import pytest
@@ -44,14 +48,15 @@ def mined_counts(db, minsup, algorithm, **counting_kwargs):
 @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
 @given(db=my.databases(), minsup=my.minsups())
 @RELAXED
-def test_three_strategies_identical_serial(db, minsup, algorithm):
+def test_four_strategies_identical_serial(db, minsup, algorithm):
     anchor = mined_counts(db, minsup, algorithm, strategy="hashtree")
-    for strategy in ("bitset", "naive"):
+    for strategy in ("bitset", "naive", "vertical"):
         assert mined_counts(db, minsup, algorithm, strategy=strategy) == anchor, (
             strategy
         )
 
 
+@pytest.mark.parametrize("strategy", ["bitset", "vertical"])
 @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
 @given(db=my.databases(), minsup=my.minsups())
 @settings(
@@ -59,10 +64,15 @@ def test_three_strategies_identical_serial(db, minsup, algorithm):
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-def test_bitset_identical_with_two_workers(db, minsup, algorithm):
-    serial = mined_counts(db, minsup, algorithm, strategy="bitset")
+def test_prepared_strategies_identical_with_two_workers(
+    db, minsup, algorithm, strategy
+):
+    """The once-per-run prepared backends (compiled bitset, inverted
+    vertical) must count identically when the pass is sharded over two
+    workers — customer shards for bitset, candidate shards for vertical."""
+    serial = mined_counts(db, minsup, algorithm, strategy=strategy)
     parallel = mined_counts(
-        db, minsup, algorithm, strategy="bitset", workers=2, chunk_size=2
+        db, minsup, algorithm, strategy=strategy, workers=2, chunk_size=2
     )
     assert parallel == serial
 
@@ -72,7 +82,7 @@ def test_bitset_identical_with_two_workers(db, minsup, algorithm):
     candidates=st.sets(my.id_sequences(max_id=5, max_length=3), max_size=12),
 )
 @RELAXED
-def test_raw_engine_three_way_equivalence(sequences, candidates):
+def test_raw_engine_four_way_equivalence(sequences, candidates):
     """count_candidates itself (no miner, mixed candidate lengths): every
     strategy returns the same dict, zeros included."""
     anchor = count_candidates(sequences, candidates, strategy="hashtree")
