@@ -43,9 +43,10 @@ from repro.core.sequence import (
     make_itemset,
     parse_sequence,
 )
-from repro.datagen.generator import generate_database
+from repro.datagen.generator import generate_database, iter_customer_sequences
 from repro.datagen.params import SyntheticParams
 from repro.db.database import CustomerSequence, SequenceDatabase, support_threshold
+from repro.db.partitioned import PartitionedDatabase
 from repro.db.records import Transaction
 
 __version__ = "1.0.0"
@@ -59,6 +60,7 @@ __all__ = [
     "MiningParams",
     "MiningResult",
     "NextLengthPolicy",
+    "PartitionedDatabase",
     "Pattern",
     "Sequence",
     "SequenceDatabase",
@@ -66,6 +68,7 @@ __all__ = [
     "Transaction",
     "format_sequence",
     "generate_database",
+    "iter_customer_sequences",
     "make_itemset",
     "mine",
     "mine_from_transactions",

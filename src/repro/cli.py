@@ -11,15 +11,22 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence as PySequence
 
 from repro.analysis.compare import pattern_length_histogram
 from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
 from repro.core.phase import CountingOptions
-from repro.datagen.generator import generate_database
+from repro.datagen.generator import generate_database, iter_customer_sequences
 from repro.datagen.params import SyntheticParams
 from repro.db.database import SequenceDatabase
+from repro.db.partitioned import (
+    PartitionedDatabase,
+    partitions_for_budget_from_text,
+    write_partitions_from_csv,
+    write_partitions_from_spmf,
+)
 from repro.io.csvio import (
     database_to_transactions,
     read_database_csv,
@@ -27,6 +34,10 @@ from repro.io.csvio import (
 )
 from repro.io.patterns import patterns_to_json, write_patterns
 from repro.io.spmf import read_spmf, write_spmf
+
+#: Partition count when ``--partition-dir`` is given without an explicit
+#: ``--partitions`` or ``--max-memory-mb``.
+DEFAULT_PARTITIONS = 8
 
 
 def _load_database(path: str, fmt: str) -> SequenceDatabase:
@@ -38,9 +49,45 @@ def _load_database(path: str, fmt: str) -> SequenceDatabase:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if (args.output is None) == (args.stream_out is None):
+        raise ValueError(
+            "exactly one of --output or --stream-out is required"
+        )
+    if args.stream_out is not None and args.format == "csv":
+        raise ValueError(
+            "--format csv has no effect with --stream-out "
+            "(partitions are always binlog); drop the flag or use --output"
+        )
+    if args.stream_out is None and args.partitions is not None:
+        raise ValueError("--partitions only applies to --stream-out")
     params = SyntheticParams.from_name(
         args.dataset, num_customers=args.customers
     )
+    if args.stream_out is not None:
+        # Out-of-core generation: customers stream straight into binlog
+        # partitions; the whole dataset never exists in memory.
+        if os.path.exists(os.path.join(args.stream_out, "manifest.json")):
+            raise ValueError(
+                f"{args.stream_out} already holds a partitioned database; "
+                f"delete the directory to regenerate"
+            )
+        pdb = PartitionedDatabase.create(
+            args.stream_out,
+            iter_customer_sequences(params, seed=args.seed),
+            partitions=(
+                DEFAULT_PARTITIONS if args.partitions is None
+                else args.partitions
+            ),
+        )
+        stats = pdb.stats()
+        print(
+            f"wrote {args.stream_out}: {stats.num_customers} customers, "
+            f"{stats.num_transactions} transactions in "
+            f"{pdb.num_partitions} partitions "
+            f"({stats.approx_size_mb:.2f} MB est., "
+            f"{pdb.disk_bytes() / (1024 * 1024):.2f} MB on disk)"
+        )
+        return 0
     db = generate_database(params, seed=args.seed)
     if args.format == "spmf":
         write_spmf(db, args.output)
@@ -55,8 +102,81 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_mine_database(args: argparse.Namespace):
+    """The database a ``mine`` invocation runs over, per the flag rules.
+
+    Without ``--partition-dir`` this is the in-memory path and ``--input``
+    is required. With it, mining is out-of-core: an ``--input`` file is
+    first streamed into partitions in that directory (count picked by
+    ``--partitions``, by ``--max-memory-mb``, or a default) — refusing
+    to clobber a directory that already holds a database — and without
+    ``--input`` the directory must already hold one (whose partition
+    count is then fixed, so the sizing flags are rejected). Flag misuse
+    raises ``ValueError`` so the CLI exits with a one-line error rather
+    than a traceback.
+    """
+    if args.partitions is not None and args.partitions < 1:
+        raise ValueError(f"--partitions must be >= 1, got {args.partitions}")
+    if args.partition_dir is None:
+        for flag, value in (
+            ("--partitions", args.partitions),
+            ("--max-memory-mb", args.max_memory_mb),
+        ):
+            if value is not None:
+                raise ValueError(f"{flag} requires --partition-dir")
+        if args.input is None:
+            raise ValueError(
+                "--input is required (or pass --partition-dir pointing at "
+                "an existing partitioned database)"
+            )
+        return _load_database(args.input, args.format)
+    if args.partitions is not None and args.max_memory_mb is not None:
+        raise ValueError(
+            "--partitions and --max-memory-mb are mutually exclusive: "
+            "the memory budget picks the partition count"
+        )
+    if args.input is None:
+        # Reusing an existing database: its partition count is fixed, so
+        # a sizing flag here would be silently dead — reject it instead.
+        for flag, value in (
+            ("--partitions", args.partitions),
+            ("--max-memory-mb", args.max_memory_mb),
+        ):
+            if value is not None:
+                raise ValueError(
+                    f"{flag} has no effect when reusing an existing "
+                    f"partitioned database (pass --input to re-convert)"
+                )
+        return PartitionedDatabase.open(args.partition_dir)
+    if os.path.exists(os.path.join(args.partition_dir, "manifest.json")):
+        raise ValueError(
+            f"{args.partition_dir} already holds a partitioned database; "
+            f"mine it without --input to reuse it, or delete the "
+            f"directory to re-convert"
+        )
+    if args.format == "csv" and args.max_memory_mb is not None:
+        raise ValueError(
+            "--max-memory-mb cannot be honored for --format csv: CSV rows "
+            "are unsorted, so conversion sorts the whole dataset in memory "
+            "first; use --partitions, or convert to SPMF"
+        )
+    if args.max_memory_mb is not None:
+        partitions = partitions_for_budget_from_text(
+            os.path.getsize(args.input), args.max_memory_mb
+        )
+    else:
+        partitions = args.partitions or DEFAULT_PARTITIONS
+    if args.format == "spmf":
+        return write_partitions_from_spmf(
+            args.input, args.partition_dir, partitions=partitions
+        )
+    return write_partitions_from_csv(
+        args.input, args.partition_dir, partitions=partitions
+    )
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    db = _load_database(args.input, args.format)
+    db = _resolve_mine_database(args)
     params = MiningParams(
         minsup=args.minsup,
         algorithm=args.algorithm,
@@ -128,12 +248,36 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--customers", type=int, default=SyntheticParams().num_customers)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--format", choices=("spmf", "csv"), default="spmf")
-    gen.add_argument("--output", required=True)
+    gen.add_argument("--output", default=None,
+                     help="output file (SPMF or CSV per --format)")
+    gen.add_argument("--stream-out", default=None, metavar="DIR",
+                     help="stream customers straight into a partitioned "
+                     "binlog database in DIR (never holds the dataset in "
+                     "memory; mutually exclusive with --output)")
+    gen.add_argument("--partitions", type=int, default=None,
+                     help="partition count for --stream-out "
+                     f"(default {DEFAULT_PARTITIONS}); rejected with "
+                     "--output, where it would be silently dead")
     gen.set_defaults(func=_cmd_generate)
 
     mine_cmd = sub.add_parser("mine", help="mine sequential patterns from a file")
-    mine_cmd.add_argument("--input", required=True)
+    mine_cmd.add_argument("--input", default=None,
+                          help="dataset file; optional when --partition-dir "
+                          "names an existing partitioned database")
     mine_cmd.add_argument("--format", choices=("spmf", "csv"), default="spmf")
+    mine_cmd.add_argument("--partition-dir", default=None, metavar="DIR",
+                          help="mine out-of-core: stream --input into disk "
+                          "partitions in DIR first (or reuse the "
+                          "partitioned database already there), then count "
+                          "one partition at a time")
+    mine_cmd.add_argument("--partitions", type=int, default=None,
+                          help="partition count when converting --input "
+                          f"(default {DEFAULT_PARTITIONS}; requires "
+                          "--partition-dir)")
+    mine_cmd.add_argument("--max-memory-mb", type=float, default=None,
+                          help="per-pass memory budget; picks the partition "
+                          "count so one resident partition fits the budget "
+                          "(requires --partition-dir, excludes --partitions)")
     mine_cmd.add_argument("--minsup", type=float, required=True,
                           help="minimum support as a fraction, e.g. 0.01")
     mine_cmd.add_argument("--algorithm", choices=ALGORITHM_NAMES,
@@ -154,8 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for support counting "
                           "(1 = serial, 0 = all CPUs)")
     mine_cmd.add_argument("--chunk-size", type=int, default=None,
-                          help="customers per counting shard "
-                          "(default: one shard per worker)")
+                          help="items per counting shard (default: one "
+                          "shard per worker). The sharded unit depends "
+                          "on the path: customers for the in-memory "
+                          "scanning strategies, candidates for "
+                          "--strategy vertical, partitions with "
+                          "--partition-dir")
     mine_cmd.add_argument("--output", default=None,
                           help="write patterns to this file instead of stdout")
     mine_cmd.add_argument("--json", action="store_true",

@@ -28,11 +28,15 @@ All strategies return identical counts (property tests enforce this).
 
 The ``sequences`` argument of every engine accepts the raw transformed
 sequence list, an already-compiled
-:class:`~repro.core.bitset.CompiledDatabase`, or an already-inverted
-:class:`~repro.core.vertical.VerticalDatabase`; the algorithms prepare
-the right form once up front (via
+:class:`~repro.core.bitset.CompiledDatabase`, an already-inverted
+:class:`~repro.core.vertical.VerticalDatabase`, or the disk-backed
+:class:`~repro.db.partitioned.PartitionedSequences`; the algorithms
+prepare the right form once up front (via
 :meth:`CountingOptions.prepare_sequences`), so the per-pass calls here
-never recompile or re-invert.
+never recompile or re-invert. The partitioned form is counted **one
+partition at a time** under any strategy — the per-partition counts sum
+exactly because customer support is additive across disjoint customer
+partitions — so a pass's peak memory is one partition, not the database.
 
 Every strategy can run sharded-parallel: with ``workers > 1`` (or
 ``workers=0`` for all CPUs) the pass is routed through
@@ -63,6 +67,7 @@ from repro.core.vertical import (
     count_candidates_vertical,
     ensure_vertical,
 )
+from repro.db.partitioned import PartitionedSequences
 
 CountingStrategy = Literal["hashtree", "naive", "bitset", "vertical"]
 
@@ -75,9 +80,15 @@ COUNTING_STRATEGIES: tuple[CountingStrategy, ...] = (
 
 TransformedSequences = PySequence[tuple[frozenset[int], ...]]
 
-#: What every counting engine scans: raw transformed sequences, or the
-#: bitset-compiled or vertical-inverted form of the same database.
-CountableSequences = Union[TransformedSequences, CompiledDatabase, VerticalDatabase]
+#: What every counting engine scans: raw transformed sequences, the
+#: bitset-compiled or vertical-inverted form of the same database, or the
+#: disk-backed partitioned form (counted one partition at a time).
+CountableSequences = Union[
+    TransformedSequences,
+    CompiledDatabase,
+    VerticalDatabase,
+    PartitionedSequences,
+]
 
 #: Join parentage for the candidate-driven vertical engine, as reported
 #: by ``apriori_generate(..., with_parents=True)``.
@@ -139,6 +150,15 @@ def count_candidates(
             branch_factor=branch_factor,
             parents=parents,
         )
+    if isinstance(sequences, PartitionedSequences):
+        return count_candidates_partitioned(
+            sequences,
+            candidates,
+            strategy=strategy,
+            leaf_capacity=leaf_capacity,
+            branch_factor=branch_factor,
+            parents=parents,
+        )
     if strategy == "vertical":
         if not candidates:
             return {}
@@ -189,6 +209,72 @@ def count_candidates(
     return counts
 
 
+def count_candidates_partitioned(
+    sequences: PartitionedSequences,
+    candidates: Collection[IdSequence],
+    *,
+    strategy: CountingStrategy = "hashtree",
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    branch_factor: int = DEFAULT_BRANCH_FACTOR,
+    parents: CandidateParents | None = None,
+    partition_indices: range | None = None,
+) -> dict[IdSequence, int]:
+    """One out-of-core counting pass over (a subset of) the partitions.
+
+    Loads one prepared partition at a time and sums its counts — exact
+    because customer support is additive across disjoint customer
+    partitions. Per-pass candidate structures (the hash trees of the
+    scanning strategies) are built **once** and scan every partition;
+    only the customer data is cycled through memory. The parallel
+    executor's partition shards call this with their ``partition_indices``
+    range, so worker processes share the same code path.
+    """
+    counts: dict[IdSequence, int] = {candidate: 0 for candidate in candidates}
+    if not counts:
+        return counts
+    indices = (
+        range(sequences.num_partitions)
+        if partition_indices is None
+        else partition_indices
+    )
+    if strategy == "vertical":
+        from repro.parallel.sharding import merge_counts
+
+        return merge_counts(
+            (
+                count_candidates_vertical(
+                    sequences.load_prepared(index, "vertical"),
+                    counts,
+                    parents=parents,
+                )
+                for index in indices
+            ),
+            base=counts,
+        )
+    if strategy == "naive":
+        candidate_list = list(counts)
+        for index in indices:
+            for events in sequences.load_prepared(index, "naive"):
+                for candidate in candidate_list:
+                    if id_sequence_contains(candidate, events):
+                        counts[candidate] += 1
+        return counts
+    if strategy not in ("hashtree", "bitset"):
+        raise ValueError(f"unknown counting strategy {strategy!r}")
+    trees = _build_trees(counts, leaf_capacity, branch_factor)
+    for index in indices:
+        part = sequences.load_prepared(index, strategy)
+        for events in part:
+            index_or_compiled = (
+                events if isinstance(events, CompiledSequence)
+                else OccurrenceIndex(events)
+            )
+            for tree in trees:
+                for candidate in tree.contained_in(index_or_compiled):
+                    counts[candidate] += 1
+    return counts
+
+
 def filter_large(
     counts: dict[IdSequence, int], threshold: int
 ) -> dict[IdSequence, int]:
@@ -232,6 +318,15 @@ def count_length2(
 
         return parallel_count_length2(
             sequences, workers=workers, chunk_size=chunk_size
+        )
+    if isinstance(sequences, PartitionedSequences):
+        # Out-of-core: run the fast path per partition (raw or compiled,
+        # per the prepared strategy) and sum the sparse dicts.
+        from repro.parallel.sharding import merge_counts
+
+        return merge_counts(
+            count_length2(part)
+            for part in sequences.iter_prepared(sequences.length2_form)
         )
     counts: dict[IdSequence, int] = {}
     if isinstance(sequences, CompiledDatabase):

@@ -242,10 +242,24 @@ def _count_on_the_fly(
     disappears entirely: heads' earliest-end and tails' latest-start
     lists come from the vertical caches and each head/tail pair is
     joined list-against-list (see
-    :func:`repro.core.vertical.count_on_the_fly_vertical`).
+    :func:`repro.core.vertical.count_on_the_fly_vertical`). A
+    disk-backed :class:`~repro.db.partitioned.PartitionedSequences` runs
+    this same pass one prepared partition at a time and sums the counts
+    (customer support is additive across disjoint partitions) — the
+    head/tail hash trees are built once and scan every partition.
     """
+    from repro.db.partitioned import PartitionedSequences
+
     if isinstance(sequences, VerticalDatabase):
         return count_on_the_fly_vertical(sequences, large_k, large_step)
+    partitioned = isinstance(sequences, PartitionedSequences)
+    if partitioned and sequences.strategy == "vertical":
+        from repro.parallel.sharding import merge_counts
+
+        return merge_counts(
+            count_on_the_fly_vertical(part, large_k, large_step)
+            for part in sequences.iter_prepared()
+        )
     tree_k = SequenceHashTree(
         large_k,
         leaf_capacity=counting.leaf_capacity,
@@ -256,8 +270,22 @@ def _count_on_the_fly(
         leaf_capacity=counting.leaf_capacity,
         branch_factor=counting.branch_factor,
     )
-    compiled = isinstance(sequences, CompiledDatabase)
     counts: dict[IdSequence, int] = {}
+    parts = sequences.iter_prepared() if partitioned else (sequences,)
+    for part in parts:
+        _scan_on_the_fly(part, tree_k, tree_step, counts)
+    return counts
+
+
+def _scan_on_the_fly(
+    sequences,
+    tree_k: SequenceHashTree,
+    tree_step: SequenceHashTree,
+    counts: dict[IdSequence, int],
+) -> None:
+    """Scan one database (or partition) for head/tail joins, adding each
+    customer's generated candidates into ``counts``."""
+    compiled = isinstance(sequences, CompiledDatabase)
     for events in sequences:
         if compiled:
             index = events
@@ -290,4 +318,3 @@ def _count_on_the_fly(
         }
         for candidate in generated:
             counts[candidate] = counts.get(candidate, 0) + 1
-    return counts

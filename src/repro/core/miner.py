@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Literal
+from typing import TYPE_CHECKING, Callable, Iterable, Literal
+
+if TYPE_CHECKING:
+    from repro.db.partitioned import PartitionedDatabase
 
 from repro.core.aprioriall import apriori_all
 from repro.core.apriorisome import NextLengthPolicy, apriori_some
@@ -159,9 +162,19 @@ def _sequence_phase_runner(
 
 
 def mine(
-    db: SequenceDatabase, params: MiningParams, *, sort_seconds: float = 0.0
+    db: "SequenceDatabase | PartitionedDatabase",
+    params: MiningParams,
+    *,
+    sort_seconds: float = 0.0,
 ) -> MiningResult:
-    """Run phases 2–5 over an already-sorted database."""
+    """Run phases 2–5 over an already-sorted database.
+
+    ``db`` is an in-memory :class:`~repro.db.database.SequenceDatabase`
+    or a disk-backed
+    :class:`~repro.db.partitioned.PartitionedDatabase`; with the latter
+    every phase streams partition by partition and peak memory stays at
+    one partition, not the database (see :mod:`repro.db.partitioned`).
+    """
     threshold = db.threshold(params.minsup)
 
     started = time.perf_counter()
@@ -231,7 +244,7 @@ def mine_from_transactions(
 
 
 def mine_sequential_patterns(
-    db: SequenceDatabase,
+    db: "SequenceDatabase | PartitionedDatabase",
     minsup: float,
     *,
     algorithm: AlgorithmName = "aprioriall",
@@ -239,6 +252,7 @@ def mine_sequential_patterns(
 ) -> MiningResult:
     """Convenience wrapper: mine ``db`` at ``minsup`` with one algorithm.
 
-    Extra keyword arguments are forwarded to :class:`MiningParams`.
+    ``db`` may be in-memory or partitioned, as in :func:`mine`. Extra
+    keyword arguments are forwarded to :class:`MiningParams`.
     """
     return mine(db, MiningParams(minsup=minsup, algorithm=algorithm, **kwargs))

@@ -79,7 +79,18 @@ class CountingOptions:
         :class:`~repro.core.vertical.VerticalDatabase` carries the
         cross-pass support-list cache for the whole run. The other
         strategies scan the raw sequences unchanged.
+
+        A disk-backed :class:`~repro.db.partitioned.PartitionedSequences`
+        prepares *itself*: under bitset/vertical it compiles each
+        partition once and caches the compiled form on disk, so later
+        passes (and worker processes) deserialize instead of recompiling;
+        it is returned unchanged and the counting layer streams it one
+        partition at a time.
         """
+        from repro.db.partitioned import PartitionedSequences
+
+        if isinstance(sequences, PartitionedSequences):
+            return sequences.prepare(self.strategy)
         if self.strategy == "bitset":
             from repro.core.bitset import ensure_compiled
 
@@ -97,7 +108,9 @@ class CountingOptions:
         candidate; only the *large* ones can be join parents of the next
         pass, so the losers' lists are dropped here. A no-op for the
         stateless strategies — algorithms call it unconditionally after
-        every support filter.
+        every support filter. (Partitioned databases are also a no-op:
+        their per-partition vertical inversions live only for the
+        duration of one partition's count.)
         """
         if isinstance(sequences, VerticalDatabase):
             sequences.cache.retain_surviving(large)

@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.sequence import Itemset
 from repro.datagen.params import SyntheticParams
 from repro.datagen.tables import PatternTables, generate_pattern_tables
-from repro.db.database import SequenceDatabase
+from repro.db.database import CustomerSequence, SequenceDatabase
 from repro.db.records import Transaction
 
 
@@ -143,19 +143,32 @@ def _build_customer(
     return events_out, carried
 
 
-def generate_database(
+def iter_customer_sequences(
     params: SyntheticParams, seed: int = 0
-) -> SequenceDatabase:
-    """Generate a full synthetic customer-sequence database."""
+) -> Iterator[CustomerSequence]:
+    """Generate customers one at a time, never holding the database.
+
+    This is the streaming source of the out-of-core path (``seqmine
+    generate --stream-out``): a billion-customer dataset costs the memory
+    of the pattern tables plus one customer. Yields ids 1..n in order,
+    with events already in canonical (sorted-tuple) form, and draws the
+    rng in exactly the same order as :func:`generate_database` — the two
+    produce identical customers for a given (params, seed) pair.
+    """
     rng = np.random.default_rng(seed)
     tables = generate_pattern_tables(params, rng)
     picker = _WeightedPicker(tables.sequence_probs)
-    customers: dict[int, tuple[Itemset, ...]] = {}
     carried: int | None = None
     for customer_id in range(1, params.num_customers + 1):
         events, carried = _build_customer(params, tables, picker, rng, carried)
-        customers[customer_id] = events
-    return SequenceDatabase.from_sequences(customers)
+        yield CustomerSequence(customer_id=customer_id, events=events)
+
+
+def generate_database(
+    params: SyntheticParams, seed: int = 0
+) -> SequenceDatabase:
+    """Generate a full synthetic customer-sequence database in memory."""
+    return SequenceDatabase(list(iter_customer_sequences(params, seed)))
 
 
 def generate_transactions(

@@ -1,1 +1,2 @@
-"""Transaction database substrate: records, sort phase, transformation."""
+"""Transaction database substrate: records, sort phase, transformation,
+and the out-of-core partitioned database (:mod:`repro.db.partitioned`)."""

@@ -70,6 +70,34 @@ class DatabaseStats:
             "size_mb": round(self.approx_size_mb, 2),
         }
 
+    @classmethod
+    def from_totals(
+        cls,
+        *,
+        num_customers: int,
+        num_transactions: int,
+        num_items_total: int,
+        num_distinct_items: int,
+    ) -> "DatabaseStats":
+        """Assemble the row from raw totals — the single home of the
+        derived ratios and the paper-style size estimate (4 bytes per
+        item id plus 8 bytes of per-transaction framing), shared by the
+        in-memory scan and the partitioned manifest."""
+        approx_bytes = num_items_total * 4 + num_transactions * 8
+        return cls(
+            num_customers=num_customers,
+            num_transactions=num_transactions,
+            num_items_total=num_items_total,
+            num_distinct_items=num_distinct_items,
+            avg_transactions_per_customer=(
+                num_transactions / num_customers if num_customers else 0.0
+            ),
+            avg_items_per_transaction=(
+                num_items_total / num_transactions if num_transactions else 0.0
+            ),
+            approx_size_mb=approx_bytes / (1024 * 1024),
+        )
+
 
 def support_threshold(minsup: float, num_customers: int) -> int:
     """Integer customer count a sequence must reach for support ``minsup``.
@@ -219,22 +247,9 @@ class SequenceDatabase:
 
     def stats(self) -> DatabaseStats:
         """Summary statistics in the shape of the paper's Table 2."""
-        num_transactions = sum(c.num_transactions for c in self._customers)
-        num_items_total = sum(c.num_items for c in self._customers)
-        num_customers = len(self._customers)
-        # Paper-style size estimate: 4 bytes per item id plus 8 bytes of
-        # framing per transaction (customer id + time).
-        approx_bytes = num_items_total * 4 + num_transactions * 8
-        return DatabaseStats(
-            num_customers=num_customers,
-            num_transactions=num_transactions,
-            num_items_total=num_items_total,
+        return DatabaseStats.from_totals(
+            num_customers=len(self._customers),
+            num_transactions=sum(c.num_transactions for c in self._customers),
+            num_items_total=sum(c.num_items for c in self._customers),
             num_distinct_items=len(self.item_vocabulary()),
-            avg_transactions_per_customer=(
-                num_transactions / num_customers if num_customers else 0.0
-            ),
-            avg_items_per_transaction=(
-                num_items_total / num_transactions if num_transactions else 0.0
-            ),
-            approx_size_mb=approx_bytes / (1024 * 1024),
         )

@@ -11,9 +11,16 @@ customer count, because a dropped customer simply supports nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.db.database import SequenceDatabase
 from repro.itemsets.litemsets import LitemsetCatalog
+
+if TYPE_CHECKING:
+    from repro.db.partitioned import (
+        PartitionedDatabase,
+        PartitionedTransformedDatabase,
+    )
 
 #: A transformed customer sequence: one frozenset of litemset ids per
 #: surviving transaction.
@@ -48,9 +55,22 @@ class TransformedDatabase:
 
 
 def transform_database(
-    db: SequenceDatabase, catalog: LitemsetCatalog
-) -> TransformedDatabase:
-    """Run the transformation phase over ``db`` using ``catalog``."""
+    db: SequenceDatabase | PartitionedDatabase, catalog: LitemsetCatalog
+) -> TransformedDatabase | PartitionedTransformedDatabase:
+    """Run the transformation phase over ``db`` using ``catalog``.
+
+    ``db`` is either an in-memory :class:`SequenceDatabase` (returns a
+    :class:`TransformedDatabase`) or a disk-backed
+    :class:`~repro.db.partitioned.PartitionedDatabase` (returns a
+    :class:`~repro.db.partitioned.PartitionedTransformedDatabase`, the
+    transformation itself streamed partition by partition).
+    """
+    if not isinstance(db, SequenceDatabase):
+        from repro.db.partitioned import PartitionedDatabase
+
+        if isinstance(db, PartitionedDatabase):
+            return db.transform(catalog)
+        raise TypeError(f"cannot transform {type(db).__name__}")
     sequences: list[TransformedSequence] = []
     customer_ids: list[int] = []
     for customer in db:

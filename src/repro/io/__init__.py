@@ -1,1 +1,2 @@
-"""Readers and writers: CSV transaction tables, SPMF format, pattern files."""
+"""Readers and writers: CSV transaction tables, SPMF format, pattern
+files, and the binary binlog partition format (:mod:`repro.io.binlog`)."""

@@ -61,6 +61,33 @@ def _parse_line(line: str, line_number: int) -> tuple[Itemset, ...] | None:
     return tuple(events)
 
 
+def iter_spmf(source: str | Path | TextIO) -> Iterator[CustomerSequence]:
+    """Stream an SPMF sequence file as :class:`CustomerSequence` records.
+
+    One line is held in memory at a time, which is what lets the
+    out-of-core path (:mod:`repro.db.partitioned`) convert files larger
+    than memory. Ids are assigned 1..n in line order, and skipping/error
+    semantics match :func:`read_spmf` exactly (they share this code).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            try:
+                yield from iter_spmf(handle)
+            except SpmfFormatError as exc:
+                raise SpmfFormatError(f"{source}: {exc}") from None
+        return
+    next_id = 1
+    for line_number, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped[0] in "#%@":
+            continue
+        events = _parse_line(stripped, line_number)
+        if events is None:
+            continue
+        yield CustomerSequence(customer_id=next_id, events=events)
+        next_id += 1
+
+
 def read_spmf(source: str | Path | TextIO) -> SequenceDatabase:
     """Read an SPMF sequence file into a :class:`SequenceDatabase`.
 
@@ -70,24 +97,7 @@ def read_spmf(source: str | Path | TextIO) -> SequenceDatabase:
     so the number always matches the source file — and, when reading from
     a path, name the file.
     """
-    if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
-            try:
-                return read_spmf(handle)
-            except SpmfFormatError as exc:
-                raise SpmfFormatError(f"{source}: {exc}") from None
-    customers: list[CustomerSequence] = []
-    next_id = 1
-    for line_number, line in enumerate(source, start=1):
-        stripped = line.strip()
-        if not stripped or stripped[0] in "#%@":
-            continue
-        events = _parse_line(stripped, line_number)
-        if events is None:
-            continue
-        customers.append(CustomerSequence(customer_id=next_id, events=events))
-        next_id += 1
-    return SequenceDatabase(customers)
+    return SequenceDatabase(list(iter_spmf(source)))
 
 
 def write_spmf(

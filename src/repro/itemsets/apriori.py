@@ -91,6 +91,14 @@ def _all_subsets_large(candidate: Itemset, prev_set: set[Itemset]) -> bool:
     return True
 
 
+def _iter_customers(db):
+    """Customers of ``db`` in any order — support counting is
+    order-independent, and a disk-partitioned database offers a cheaper
+    unordered stream (no K-way merge) than its ordered ``__iter__``."""
+    unordered = getattr(db, "iter_unordered", None)
+    return unordered() if unordered is not None else iter(db)
+
+
 def count_itemset_supports(
     db: SequenceDatabase,
     candidates: Iterable[Itemset],
@@ -105,7 +113,7 @@ def count_itemset_supports(
     counts: Counter = Counter()
     if len(tree) == 0:
         return counts
-    for customer in db:
+    for customer in _iter_customers(db):
         contained: set[Itemset] = set()
         for event in customer.events:
             contained |= tree.subsets_of(event)
@@ -133,7 +141,7 @@ def find_litemsets(
     passes: list[LitemsetPassStats] = []
 
     item_counts: Counter = Counter()
-    for customer in db:
+    for customer in _iter_customers(db):
         seen: set[int] = set()
         for event in customer.events:
             seen.update(event)

@@ -33,6 +33,16 @@ parallel vertical pass rebuilds its parent lists inside the workers
 (memoized per worker, shared across that worker's candidates) instead of
 rolling lists forward pass to pass as the serial engine does.
 
+A disk-backed :class:`~repro.db.partitioned.PartitionedSequences` shards
+by **partition**: the object shipped to the pool is just the list of
+partition file paths (plus counts), each worker receives a range of
+partition *indices* and opens the binlog (or on-disk compiled cache)
+itself, counts one partition at a time with the serial engine, and
+returns a sparse merged dict. No sequence data is pickled under either
+``fork`` or ``spawn``, and worker peak memory stays one partition —
+which is the whole point of the out-of-core path. ``chunk_size`` then
+means partitions per shard.
+
 The worker entry points are module-level functions so they are picklable
 under every ``multiprocessing`` start method.
 
@@ -146,6 +156,29 @@ def _count_shard(bounds: tuple[int, int]) -> dict:
     return {candidate: count for candidate, count in counts.items() if count}
 
 
+def _count_partitioned_shard(bounds: tuple[int, int]) -> dict:
+    """One shard of an out-of-core pass: a range of partition indices.
+
+    ``_SEQUENCES`` is the (tiny, path-holding) partitioned description;
+    the worker opens each of its partitions from disk in the prepared
+    strategy form and counts it serially — with per-pass candidate
+    structures built once for the whole shard — so shipping the work
+    costs bytes of paths, not sequences.
+    """
+    from repro.core.counting import count_candidates_partitioned
+
+    candidates, strategy, leaf_capacity, branch_factor = _STATE["partitioned"]
+    counts = count_candidates_partitioned(
+        _SEQUENCES,
+        candidates,
+        strategy=strategy,
+        leaf_capacity=leaf_capacity,
+        branch_factor=branch_factor,
+        partition_indices=range(bounds[0], bounds[1]),
+    )
+    return {candidate: count for candidate, count in counts.items() if count}
+
+
 def _count_vertical_shard(bounds: tuple[int, int]) -> dict:
     """One candidate shard of a vertical pass: the whole database, a
     disjoint slice of the candidates. The join parentage is re-derived by
@@ -184,9 +217,32 @@ def parallel_count_candidates(
     """
     from repro.core.counting import count_candidates
     from repro.core.vertical import VerticalDatabase, ensure_vertical
+    from repro.db.partitioned import PartitionedSequences
 
     workers = resolve_workers(workers)
     base = {candidate: 0 for candidate in candidates}
+    if isinstance(sequences, PartitionedSequences):
+        num_items = sequences.num_partitions
+        if (
+            not base
+            or not len(sequences)
+            or workers == 1
+            or len(shard_bounds(num_items, workers, chunk_size)) == 1
+        ):
+            return count_candidates(
+                sequences,
+                base,
+                strategy=strategy,  # type: ignore[arg-type]
+                leaf_capacity=leaf_capacity,
+                branch_factor=branch_factor,
+                parents=parents,
+            )
+        state = (list(base), strategy, leaf_capacity, branch_factor)
+        per_shard = _run_sharded(
+            sequences, workers, chunk_size, "partitioned", state,
+            _count_partitioned_shard, num_items=num_items,
+        )
+        return merge_counts(per_shard, base=base)
     if strategy == "vertical":
         # Invert once, in the parent; workers inherit (fork) or receive
         # (spawn) the inverted database whole, never a customer slice.
@@ -234,6 +290,16 @@ def _count_length2_shard(bounds: tuple[int, int]) -> dict:
     return count_length2(_SEQUENCES[bounds[0] : bounds[1]])
 
 
+def _count_length2_partitioned_shard(bounds: tuple[int, int]) -> dict:
+    from repro.core.counting import count_length2
+
+    (strategy,) = _STATE["length2_partitioned"]
+    return merge_counts(
+        count_length2(_SEQUENCES.load_prepared(index, strategy))
+        for index in range(bounds[0], bounds[1])
+    )
+
+
 def parallel_count_length2(
     sequences, *, workers: int = 0, chunk_size: int | None = None
 ) -> dict:
@@ -242,8 +308,23 @@ def parallel_count_length2(
     Like the serial fast path, returns counts for *occurring* pairs only.
     """
     from repro.core.counting import count_length2
+    from repro.db.partitioned import PartitionedSequences
 
     workers = resolve_workers(workers)
+    if isinstance(sequences, PartitionedSequences):
+        # Shard by partition; each worker opens its own partition files.
+        strategy = sequences.length2_form
+        if (
+            not len(sequences)
+            or workers == 1
+            or len(shard_bounds(sequences.num_partitions, workers, chunk_size)) == 1
+        ):
+            return count_length2(sequences)
+        per_shard = _run_sharded(
+            sequences, workers, chunk_size, "length2_partitioned", (strategy,),
+            _count_length2_partitioned_shard, num_items=sequences.num_partitions,
+        )
+        return merge_counts(per_shard)
     if (
         not sequences
         or workers == 1

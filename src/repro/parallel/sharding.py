@@ -13,7 +13,7 @@ two facts established here:
 
 from __future__ import annotations
 
-from typing import Sequence as PySequence, TypeVar
+from typing import Iterable, Sequence as PySequence, TypeVar
 
 T = TypeVar("T")
 
@@ -65,13 +65,15 @@ def partition(
     ]
 
 
-def merge_counts(per_shard: PySequence[Counts], base: Counts | None = None) -> Counts:
+def merge_counts(per_shard: Iterable[Counts], base: Counts | None = None) -> Counts:
     """Sum per-shard count dicts.
 
     ``base`` seeds the result (typically ``{candidate: 0 for ...}`` so the
     merged dict has a key for every candidate, zeros included, in the same
     insertion order as the serial engine); it is not mutated. Keys absent
-    from ``base`` are appended as encountered.
+    from ``base`` are appended as encountered. ``per_shard`` is iterated
+    exactly once, so out-of-core callers pass a generator and keep only
+    one partition's dict alive at a time.
     """
     merged: Counts = dict(base) if base is not None else {}
     for counts in per_shard:

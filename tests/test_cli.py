@@ -130,6 +130,261 @@ class TestMine:
         assert code == 1
 
 
+class TestMinePartitioned:
+    def test_mine_with_partition_dir_matches_in_memory(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(tmp_path / "parts"), "--partitions", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<(30)(90)>" in out
+        assert "<(30)(40 70)>" in out
+
+    def test_mine_reuses_existing_partition_dir(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        parts = tmp_path / "parts"
+        assert main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(parts),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "mine", "--minsup", "0.25", "--partition-dir", str(parts),
+            "--strategy", "bitset",
+        ])
+        assert code == 0
+        assert "<(30)(90)>" in capsys.readouterr().out
+
+    def test_mine_max_memory_mb(self, paper_spmf, tmp_path, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(tmp_path / "parts"),
+            "--max-memory-mb", "64",
+        ])
+        assert code == 0
+        assert "<(30)(90)>" in capsys.readouterr().out
+
+    def test_generate_stream_out_then_mine(self, tmp_path, capsys):
+        parts = tmp_path / "parts"
+        assert main([
+            "generate", "--customers", "40", "--seed", "5",
+            "--stream-out", str(parts), "--partitions", "3",
+        ]) == 0
+        assert "40 customers" in capsys.readouterr().out
+        assert main([
+            "mine", "--minsup", "0.2", "--partition-dir", str(parts),
+        ]) == 0
+
+    def test_stream_out_matches_output_generation(self, tmp_path, capsys):
+        """--stream-out and --output produce the same customers."""
+        from repro.db.partitioned import PartitionedDatabase
+        from repro.io.spmf import iter_spmf_lines
+
+        spmf = tmp_path / "d.spmf"
+        parts = tmp_path / "parts"
+        for argv in (
+            ["generate", "--customers", "25", "--seed", "9",
+             "--output", str(spmf)],
+            ["generate", "--customers", "25", "--seed", "9",
+             "--stream-out", str(parts), "--partitions", "4"],
+        ):
+            assert main(argv) == 0
+        pdb = PartitionedDatabase.open(parts)
+        streamed = "".join(line + "\n" for line in iter_spmf_lines(pdb))
+        assert streamed == spmf.read_text()
+
+
+def one_line_error(capsys) -> str:
+    """The CLI error contract: one stderr line, no traceback."""
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if line]
+    assert len(lines) == 1, captured.err
+    assert "Traceback" not in captured.err
+    return lines[0]
+
+
+class TestCliErrorPaths:
+    def test_unknown_strategy_exits_nonzero_with_message(
+        self, paper_spmf, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+                "--strategy", "bogus",
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "Traceback" not in err
+
+    def test_partitions_zero(self, paper_spmf, tmp_path, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(tmp_path / "p"), "--partitions", "0",
+        ])
+        assert code == 1
+        assert "--partitions must be >= 1" in one_line_error(capsys)
+
+    def test_partitions_without_partition_dir(self, paper_spmf, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partitions", "2",
+        ])
+        assert code == 1
+        assert "--partitions requires --partition-dir" in one_line_error(capsys)
+
+    def test_max_memory_without_partition_dir(self, paper_spmf, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--max-memory-mb", "32",
+        ])
+        assert code == 1
+        assert "--max-memory-mb requires --partition-dir" in one_line_error(
+            capsys
+        )
+
+    def test_partitions_and_max_memory_conflict(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(tmp_path / "p"),
+            "--partitions", "2", "--max-memory-mb", "32",
+        ])
+        assert code == 1
+        assert "mutually exclusive" in one_line_error(capsys)
+
+    def test_missing_input_and_partition_dir(self, capsys):
+        code = main(["mine", "--minsup", "0.25"])
+        assert code == 1
+        assert "--input is required" in one_line_error(capsys)
+
+    def test_partition_dir_without_database(self, tmp_path, capsys):
+        code = main([
+            "mine", "--minsup", "0.25", "--partition-dir", str(tmp_path),
+        ])
+        assert code == 1
+        assert "missing manifest.json" in one_line_error(capsys)
+
+    def test_zero_max_memory(self, paper_spmf, tmp_path, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(tmp_path / "p"), "--max-memory-mb", "0",
+        ])
+        assert code == 1
+        assert "max-memory-mb must be > 0" in one_line_error(capsys)
+
+    def test_generate_output_and_stream_out_conflict(self, tmp_path, capsys):
+        code = main([
+            "generate", "--customers", "5",
+            "--output", str(tmp_path / "d.spmf"),
+            "--stream-out", str(tmp_path / "parts"),
+        ])
+        assert code == 1
+        assert "exactly one of --output or --stream-out" in one_line_error(
+            capsys
+        )
+
+    def test_generate_neither_output_nor_stream_out(self, capsys):
+        code = main(["generate", "--customers", "5"])
+        assert code == 1
+        assert "exactly one of --output or --stream-out" in one_line_error(
+            capsys
+        )
+
+    def test_generate_stream_out_partitions_zero(self, tmp_path, capsys):
+        code = main([
+            "generate", "--customers", "5",
+            "--stream-out", str(tmp_path / "parts"), "--partitions", "0",
+        ])
+        assert code == 1
+        assert "partitions must be >= 1" in one_line_error(capsys)
+
+    def test_convert_refuses_to_clobber_existing_database(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        parts = tmp_path / "parts"
+        assert main([
+            "generate", "--customers", "20", "--stream-out", str(parts),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(parts),
+        ])
+        assert code == 1
+        assert "already holds a partitioned database" in one_line_error(capsys)
+
+    def test_sizing_flags_rejected_when_reusing_existing(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        parts = tmp_path / "parts"
+        assert main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--partition-dir", str(parts), "--partitions", "2",
+        ]) == 0
+        capsys.readouterr()
+        for flag in (["--partitions", "5"], ["--max-memory-mb", "16"]):
+            code = main([
+                "mine", "--minsup", "0.25", "--partition-dir", str(parts),
+                *flag,
+            ])
+            assert code == 1
+            assert "has no effect when reusing" in one_line_error(capsys)
+
+    def test_csv_conversion_rejects_memory_budget(self, tmp_path, capsys):
+        csv_path = tmp_path / "txns.csv"
+        csv_path.write_text(
+            "customer_id,transaction_time,items\n1,1,30\n1,2,90\n"
+        )
+        code = main([
+            "mine", "--input", str(csv_path), "--format", "csv",
+            "--minsup", "1.0", "--partition-dir", str(tmp_path / "p"),
+            "--max-memory-mb", "16",
+        ])
+        assert code == 1
+        assert "cannot be honored for --format csv" in one_line_error(capsys)
+
+    def test_generate_partitions_rejected_without_stream_out(
+        self, tmp_path, capsys
+    ):
+        code = main([
+            "generate", "--customers", "5", "--partitions", "4",
+            "--output", str(tmp_path / "d.spmf"),
+        ])
+        assert code == 1
+        assert "--partitions only applies to --stream-out" in one_line_error(
+            capsys
+        )
+
+    def test_generate_stream_out_rejects_csv_format(self, tmp_path, capsys):
+        code = main([
+            "generate", "--customers", "5", "--format", "csv",
+            "--stream-out", str(tmp_path / "parts"),
+        ])
+        assert code == 1
+        assert "--format csv has no effect" in one_line_error(capsys)
+
+    def test_corrupt_partition_file_reported(self, tmp_path, capsys):
+        parts = tmp_path / "parts"
+        assert main([
+            "generate", "--customers", "10", "--stream-out", str(parts),
+            "--partitions", "2",
+        ]) == 0
+        capsys.readouterr()
+        victim = parts / "part-00000.binlog"
+        victim.write_bytes(victim.read_bytes()[:-4])
+        code = main(["mine", "--minsup", "0.5", "--partition-dir", str(parts)])
+        assert code == 1
+        message = one_line_error(capsys)
+        assert "part-00000.binlog" in message
+        assert "offset" in message
+
+
 class TestInfoAndHistogram:
     def test_info(self, paper_spmf, capsys):
         assert main(["info", "--input", str(paper_spmf)]) == 0

@@ -20,7 +20,10 @@ from repro import (
 )
 from repro.baselines.prefixspan import prefixspan_mine
 from repro.core.apriorisome import NextLengthPolicy
+from repro.core.counting import COUNTING_STRATEGIES
+from repro.core.phase import CountingOptions
 from repro.datagen.tables import generate_pattern_tables
+from repro.db.partitioned import PartitionedDatabase
 from repro.db.records import Transaction as Txn
 from repro.extensions.timeconstraints import (
     TimeConstraints,
@@ -72,6 +75,70 @@ class TestDegenerateDatabases:
         db = SequenceDatabase.from_sequences([[(1,)], [(1,)]])
         result = mine_sequential_patterns(db, 1.0, algorithm=algorithm)
         assert [str(p.sequence) for p in result.patterns] == ["<(1)>"]
+
+
+@pytest.mark.parametrize("strategy", COUNTING_STRATEGIES)
+@pytest.mark.parametrize("partitioned", [False, True], ids=["memory", "disk"])
+class TestDegenerateSweepAllBackends:
+    """The degenerate-input sweep, across every counting strategy and
+    both storage paths (in-memory and disk-partitioned). Each case is a
+    boundary some backend could plausibly get wrong on its own: an empty
+    scan, a single customer, the all-customers threshold, the
+    one-customer threshold, and an all-identical database where every
+    candidate has full support."""
+
+    def _db(self, sequences, tmp_path, partitioned):
+        db = SequenceDatabase.from_sequences(sequences)
+        if partitioned:
+            return PartitionedDatabase.from_database(
+                db, tmp_path / "parts", partitions=2
+            )
+        return db
+
+    def _mine(self, db, minsup, strategy):
+        result = mine(
+            db,
+            MiningParams(
+                minsup=minsup, counting=CountingOptions(strategy=strategy)
+            ),
+        )
+        return [str(p.sequence) for p in result.patterns]
+
+    def test_empty_database(self, tmp_path, strategy, partitioned):
+        db = self._db([], tmp_path, partitioned)
+        assert self._mine(db, 1.0, strategy) == []
+        assert self._mine(db, 0.5, strategy) == []
+
+    def test_single_customer_database(self, tmp_path, strategy, partitioned):
+        db = self._db([[(2, 4), (1,)]], tmp_path, partitioned)
+        assert self._mine(db, 1.0, strategy) == ["<(2 4)(1)>"]
+
+    def test_minsup_all_customers(self, tmp_path, strategy, partitioned):
+        # Threshold = every customer: only the common prefix survives.
+        db = self._db(
+            [[(1,), (2,)], [(1,), (2,), (3,)], [(1,), (2,)]],
+            tmp_path,
+            partitioned,
+        )
+        assert self._mine(db, 1.0, strategy) == ["<(1)(2)>"]
+
+    def test_minsup_of_one_customer(self, tmp_path, strategy, partitioned):
+        # 0.25 of 4 customers → threshold exactly 1: every contained
+        # sequence is large, so each customer's full history is maximal.
+        db = self._db(
+            [[(1,), (2,)], [(3,)], [(4,)], [(5,)]], tmp_path, partitioned
+        )
+        assert self._mine(db, 0.25, strategy) == [
+            "<(3)>",
+            "<(4)>",
+            "<(5)>",
+            "<(1)(2)>",
+        ]
+
+    def test_all_identical_customers(self, tmp_path, strategy, partitioned):
+        db = self._db([[(1, 2), (3,)]] * 4, tmp_path, partitioned)
+        assert self._mine(db, 1.0, strategy) == ["<(1 2)(3)>"]
+        assert self._mine(db, 0.25, strategy) == ["<(1 2)(3)>"]
 
 
 class TestMinerParamInteractions:

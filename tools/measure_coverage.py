@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Stdlib-only line-coverage measurement for ``src/repro``.
+
+The dev container has no ``coverage``/``pytest-cov``, but the CI
+coverage job needs a ``--cov-fail-under`` threshold anchored to a real
+measurement. This tool provides that anchor: it runs the pytest suite
+under a ``sys.settrace`` collector restricted to files below
+``src/repro`` and reports executed/executable line percentages per file
+and overall.
+
+Two accuracy caveats against coverage.py (both conservative — they can
+only *understate* the percentage this tool reports relative to
+pytest-cov, or overstate the denominator):
+
+* executable lines are taken from compiled code objects' ``co_lines()``
+  tables, which include a few rows coverage.py excludes (docstring
+  loads, ``else``/decorator bookkeeping);
+* lines executed only inside ``multiprocessing`` worker processes are
+  not seen (pytest-cov misses them too unless configured for
+  multiprocessing concurrency).
+
+To keep the slowdown tolerable the collector disables itself per code
+object once every one of that object's lines has been seen — tracing
+cost concentrates in the first execution of each function.
+
+Run:  PYTHONPATH=src python tools/measure_coverage.py [pytest args...]
+      (HYPOTHESIS_PROFILE=fast recommended; defaults to tests/)
+
+With ``--merge-into FILE.json`` the executed-line sets are unioned into
+``FILE.json`` across invocations, so the suite can be measured in
+per-file chunks (useful because tracing multiplies the cost of the
+heaviest property tests by ~20×: chunking lets a driver put a timeout
+on each file and still accumulate one total).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_PREFIX = os.path.join(REPO, "src", "repro") + os.sep
+
+# Mirror `python -m pytest` run from the repo root: the root on sys.path
+# (the tests import `tests.strategies`) and src for the library.
+for entry in (REPO, os.path.join(REPO, "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+
+def executable_lines() -> dict[str, set[int]]:
+    """Statically collect every executable line under src/repro."""
+    lines: dict[str, set[int]] = {}
+    for root, _dirs, files in os.walk(os.path.join(REPO, "src", "repro")):
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                code = compile(handle.read(), path, "exec")
+            file_lines: set[int] = set()
+            stack = [code]
+            while stack:
+                obj = stack.pop()
+                for _start, _end, line in obj.co_lines():
+                    if line is not None:
+                        file_lines.add(line)
+                stack.extend(
+                    const for const in obj.co_consts
+                    if isinstance(const, type(code))
+                )
+            lines[path] = file_lines
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    merge_path = None
+    argv = sys.argv[1:]
+    if "--merge-into" in argv:
+        at = argv.index("--merge-into")
+        merge_path = argv[at + 1]
+        argv = argv[:at] + argv[at + 2 :]
+
+    expected = executable_lines()
+    seen: dict[str, set[int]] = {path: set() for path in expected}
+    if merge_path and os.path.exists(merge_path):
+        with open(merge_path, "r", encoding="utf-8") as handle:
+            for path, lines in json.load(handle).items():
+                seen.setdefault(path, set()).update(lines)
+    #: code objects whose lines are all covered — stop tracing them.
+    saturated: set = set()
+    remaining: dict = {}
+
+    def local_trace(frame, event, _arg):
+        if event != "line":
+            return local_trace
+        code = frame.f_code
+        want = remaining.get(code)
+        if want is None:
+            want = remaining[code] = {
+                line
+                for _s, _e, line in code.co_lines()
+                if line is not None
+            }
+        want.discard(frame.f_lineno)
+        seen[code.co_filename].add(frame.f_lineno)
+        if not want:
+            saturated.add(code)
+            return None
+        return local_trace
+
+    def global_trace(frame, event, _arg):
+        if event != "call":
+            return None
+        code = frame.f_code
+        if code in saturated or not code.co_filename.startswith(SRC_PREFIX):
+            return None
+        return local_trace
+
+    # Import-time lines run before pytest starts collecting; trace from
+    # here so module bodies count.
+    sys.settrace(global_trace)
+    try:
+        exit_code = pytest.main(
+            argv or ["tests/", "-q", "-p", "no:cacheprovider"]
+        )
+    finally:
+        sys.settrace(None)
+
+    if merge_path:
+        with open(merge_path, "w", encoding="utf-8") as handle:
+            json.dump({path: sorted(lines) for path, lines in seen.items()},
+                      handle)
+
+    total_expected = 0
+    total_seen = 0
+    rows = []
+    for path in sorted(expected):
+        want = expected[path]
+        got = seen[path] & want
+        total_expected += len(want)
+        total_seen += len(got)
+        pct = 100.0 * len(got) / len(want) if want else 100.0
+        rows.append((pct, len(got), len(want), os.path.relpath(path, REPO)))
+    print()
+    print(f"{'cover':>7}  {'lines':>11}  file")
+    for pct, got, want, rel in rows:
+        print(f"{pct:6.1f}%  {got:5d}/{want:<5d}  {rel}")
+    overall = 100.0 * total_seen / total_expected if total_expected else 100.0
+    print(f"\nTOTAL {overall:.2f}% ({total_seen}/{total_expected} lines), "
+          f"pytest exit {exit_code}")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
