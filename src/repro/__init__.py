@@ -6,7 +6,12 @@ and gave three algorithms for it: **AprioriAll**, **AprioriSome**, and
 transformation → sequence → maximal). This package implements the full
 pipeline, the three algorithms, the paper's synthetic data generator, a
 brute-force oracle, and the experiment harness that regenerates the
-paper's evaluation figures.
+paper's evaluation figures — plus the production-minded layers grown on
+top: pluggable counting backends (:mod:`repro.core.counting`), sharded
+parallel counting (:mod:`repro.parallel`), out-of-core partitioned
+storage (:mod:`repro.db.partitioned`), GSP-style time constraints
+(:mod:`repro.extensions.timeconstraints`), and incremental mining over
+appended deltas (:mod:`repro.incremental`).
 
 Quickstart::
 
@@ -22,6 +27,10 @@ Quickstart::
     result = mine_sequential_patterns(db, minsup=0.25)
     for pattern in result.patterns:
         print(pattern)
+
+The curated names below are the stable import surface
+(``docs/API.md`` documents them); everything else is internal and may
+move between versions.
 """
 
 from repro.core.apriorisome import NextLengthPolicy
@@ -48,8 +57,9 @@ from repro.datagen.params import SyntheticParams
 from repro.db.database import CustomerSequence, SequenceDatabase, support_threshold
 from repro.db.partitioned import PartitionedDatabase
 from repro.db.records import Transaction
+from repro.incremental import MiningState, UpdateOutcome, update_mining
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHM_NAMES",
@@ -59,6 +69,7 @@ __all__ = [
     "Itemset",
     "MiningParams",
     "MiningResult",
+    "MiningState",
     "NextLengthPolicy",
     "PartitionedDatabase",
     "Pattern",
@@ -66,6 +77,7 @@ __all__ = [
     "SequenceDatabase",
     "SyntheticParams",
     "Transaction",
+    "UpdateOutcome",
     "format_sequence",
     "generate_database",
     "iter_customer_sequences",
@@ -75,5 +87,6 @@ __all__ = [
     "mine_sequential_patterns",
     "parse_sequence",
     "support_threshold",
+    "update_mining",
     "__version__",
 ]

@@ -3,9 +3,18 @@
 Subcommands:
 
 * ``seqmine generate`` — write a synthetic dataset (SPMF or CSV).
-* ``seqmine mine`` — run the five-phase miner over a dataset file.
+* ``seqmine mine`` — run the five-phase miner over a dataset file
+  (``--save-state`` makes the run updatable).
+* ``seqmine append`` — add a delta (new customers, new transactions for
+  existing customers) to a partitioned database without rewriting it.
+* ``seqmine update`` — incremental re-mine from the saved state: count
+  the retained frontier against the delta only (:mod:`repro.incremental`).
 * ``seqmine info`` — dataset statistics (paper Table 2 columns).
 * ``seqmine experiment`` — regenerate a paper table/figure by id.
+
+All subcommands exit 1 with a one-line ``error: ...`` on stderr for
+anticipated failures (bad flags, missing/corrupt files) — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from repro.datagen.generator import generate_database, iter_customer_sequences
 from repro.datagen.params import SyntheticParams
 from repro.db.database import SequenceDatabase
 from repro.db.partitioned import (
+    MINING_STATE_NAME,
     PartitionedDatabase,
     partitions_for_budget_from_text,
     write_partitions_from_csv,
@@ -175,7 +185,26 @@ def _resolve_mine_database(args: argparse.Namespace):
     )
 
 
+def _emit_patterns(result, args: argparse.Namespace) -> None:
+    """Shared pattern output of ``mine`` and ``update``: a file, JSON on
+    stdout, or one human-readable line per pattern."""
+    if args.output:
+        write_patterns(result.patterns, args.output)
+        print(f"wrote {result.num_patterns} patterns to {args.output}",
+              file=sys.stderr)
+    elif args.json:
+        print(patterns_to_json(result.patterns))
+    else:
+        for pattern in result.patterns:
+            print(pattern)
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.save_state and args.partition_dir is None:
+        raise ValueError(
+            "--save-state requires --partition-dir: the snapshot is "
+            "serialized next to the partition manifest"
+        )
     db = _resolve_mine_database(args)
     params = MiningParams(
         minsup=args.minsup,
@@ -188,17 +217,78 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
         ),
     )
-    result = mine(db, params)
+    result = mine(db, params, collect_state=args.save_state)
     print(result.summary(), file=sys.stderr)
-    if args.output:
-        write_patterns(result.patterns, args.output)
-        print(f"wrote {result.num_patterns} patterns to {args.output}",
-              file=sys.stderr)
-    elif args.json:
-        print(patterns_to_json(result.patterns))
+    if args.save_state:
+        from repro.io.state import write_mining_state
+
+        state_path = os.path.join(args.partition_dir, MINING_STATE_NAME)
+        write_mining_state(result.state, state_path)
+        print(
+            f"saved mining state to {state_path} "
+            f"({len(result.state.sequence_counts)} cached sequence counts, "
+            f"{result.state.num_border_sequences()} on the border)",
+            file=sys.stderr,
+        )
+    _emit_patterns(result, args)
+    return 0
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    from repro.db.database import CustomerSequence
+
+    db = PartitionedDatabase.open(args.partition_dir)
+    if args.format == "spmf":
+        # SPMF has no customer column (ids are assigned 1..n per file),
+        # so every SPMF row is a NEW customer: renumber past the current
+        # maximum. Overlays need explicit ids — use --format csv.
+        from repro.io.spmf import iter_spmf
+
+        offset = db.max_customer_id()
+        customers = (
+            CustomerSequence(
+                customer_id=customer.customer_id + offset,
+                events=customer.events,
+            )
+            for customer in iter_spmf(args.input)
+        )
     else:
-        for pattern in result.patterns:
-            print(pattern)
+        customers = iter(read_database_csv(args.input))
+    entry = db.append_delta(customers, partitions=args.partitions)
+    print(
+        f"appended generation {entry['generation']}: "
+        f"{entry['num_new_customers']} new customers, "
+        f"{entry['num_overlay_customers']} overlay records; "
+        f"database now holds {db.num_customers} customers"
+    )
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.incremental import update_mining
+    from repro.io.state import read_mining_state, write_mining_state
+
+    db = PartitionedDatabase.open(args.partition_dir)
+    state_path = os.path.join(args.partition_dir, MINING_STATE_NAME)
+    state = read_mining_state(state_path)
+    if args.minsup is not None and abs(args.minsup - state.minsup) > 1e-12:
+        raise ValueError(
+            f"--minsup {args.minsup} does not match the snapshot's minsup "
+            f"{state.minsup}: an incremental update keeps the snapshot's "
+            f"threshold semantics (re-mine with --save-state to change it)"
+        )
+    counting = CountingOptions(
+        strategy=args.strategy,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    outcome = update_mining(db, state, counting=counting)
+    print(outcome.result.summary(), file=sys.stderr)
+    print(outcome.update_stats.summary(), file=sys.stderr)
+    write_mining_state(outcome.state, state_path)
+    print(f"updated mining state at {state_path} "
+          f"(generation {outcome.state.generation})", file=sys.stderr)
+    _emit_patterns(outcome.result, args)
     return 0
 
 
@@ -308,7 +398,64 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write patterns to this file instead of stdout")
     mine_cmd.add_argument("--json", action="store_true",
                           help="print patterns as JSON")
+    mine_cmd.add_argument("--save-state", action="store_true",
+                          help="serialize the run's incremental-mining "
+                          "snapshot (large sets + negative border with "
+                          "exact supports) next to the partition "
+                          "manifest, making the result updatable with "
+                          "'seqmine append' + 'seqmine update' "
+                          "(requires --partition-dir)")
     mine_cmd.set_defaults(func=_cmd_mine)
+
+    append_cmd = sub.add_parser(
+        "append",
+        help="append a delta to a partitioned database (no rewrite)")
+    append_cmd.add_argument("--partition-dir", required=True, metavar="DIR",
+                            help="directory holding the partitioned database")
+    append_cmd.add_argument("--input", required=True,
+                            help="delta dataset file. SPMF rows (no "
+                            "customer column) are always appended as new "
+                            "customers. CSV rows carry customer_id: ids "
+                            "above the database's current maximum are "
+                            "new customers, ids at or below it add "
+                            "later transactions to that existing "
+                            "customer (an overlay)")
+    append_cmd.add_argument("--format", choices=("spmf", "csv"),
+                            default="spmf")
+    append_cmd.add_argument("--partitions", type=int, default=1,
+                            help="binlog partitions for the delta's new "
+                            "customers (default 1; deltas are small)")
+    append_cmd.set_defaults(func=_cmd_append)
+
+    update_cmd = sub.add_parser(
+        "update",
+        help="incrementally re-mine after 'append', from the saved state")
+    update_cmd.add_argument("--partition-dir", required=True, metavar="DIR",
+                            help="directory holding the partitioned "
+                            "database and its mining_state.json (from "
+                            "'seqmine mine --save-state')")
+    update_cmd.add_argument("--minsup", type=float, default=None,
+                            help="optional cross-check: must equal the "
+                            "snapshot's minsup (the update keeps the "
+                            "snapshot's threshold semantics)")
+    update_cmd.add_argument("--strategy",
+                            choices=("hashtree", "naive", "bitset",
+                                     "vertical"),
+                            default="hashtree",
+                            help="counting backend for the delta passes "
+                            "(independent of what the snapshot run used)")
+    update_cmd.add_argument("--workers", type=int, default=1,
+                            help="worker processes for delta counting "
+                            "(1 = serial, 0 = all CPUs)")
+    update_cmd.add_argument("--chunk-size", type=int, default=None,
+                            help="items per counting shard "
+                            "(default: one shard per worker)")
+    update_cmd.add_argument("--output", default=None,
+                            help="write patterns to this file instead of "
+                            "stdout")
+    update_cmd.add_argument("--json", action="store_true",
+                            help="print patterns as JSON")
+    update_cmd.set_defaults(func=_cmd_update)
 
     info = sub.add_parser("info", help="print dataset statistics")
     info.add_argument("--input", required=True)

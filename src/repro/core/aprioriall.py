@@ -26,18 +26,20 @@ def apriori_all(
     *,
     counting: CountingOptions = CountingOptions(),
     max_length: int | None = None,
+    collect_counts: bool = False,
 ) -> SequencePhaseResult:
     """Find all large sequences with the AprioriAll algorithm.
 
     ``threshold`` is the integer customer count from
     :func:`repro.db.database.support_threshold`. ``max_length`` optionally
     caps the pattern length (``None`` = run to fixpoint, as the paper
-    does).
+    does). ``collect_counts`` retains every pass's full counts for the
+    incremental subsystem (see :class:`SequencePhaseResult`).
     """
     if threshold < 1:
         raise ValueError("threshold must be >= 1")
     stats = AlgorithmStats("aprioriall")
-    result = SequencePhaseResult(stats=stats)
+    result = SequencePhaseResult(stats=stats, collect_counts=collect_counts)
 
     # One-time per-run database preparation: the bitset strategy compiles
     # every customer into occurrence bitmasks here (the vertical strategy
@@ -69,6 +71,7 @@ def apriori_all(
             # directly instead of materializing them (see count_length2).
             num_candidates = len(l1) * len(l1)
             counts = count_length2(sequences, **counting.sharding_kwargs())
+            result.length2_complete = True
         else:
             candidates, parents = apriori_generate(
                 result.large_by_length[k - 1].keys(), with_parents=True
@@ -81,6 +84,7 @@ def apriori_all(
                 sequences, candidates, parents=parents, **counting.kwargs()
             )
         stats.record_generated(k, num_candidates)
+        result.record_counts(k, counts)
         large = filter_large(counts, threshold)
         # Stateful backends (vertical) drop the non-surviving candidates'
         # memoized lists: only large sequences join the next pass.

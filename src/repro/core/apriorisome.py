@@ -79,12 +79,17 @@ def apriori_some(
     counting: CountingOptions = CountingOptions(),
     next_policy: NextLengthPolicy = NextLengthPolicy(),
     max_length: int | None = None,
+    collect_counts: bool = False,
 ) -> SequencePhaseResult:
-    """Find all large sequences with the AprioriSome algorithm."""
+    """Find all large sequences with the AprioriSome algorithm.
+
+    ``collect_counts`` retains every pass's full counts for the
+    incremental subsystem (see :class:`SequencePhaseResult`).
+    """
     if threshold < 1:
         raise ValueError("threshold must be >= 1")
     stats = AlgorithmStats("apriorisome")
-    result = SequencePhaseResult(stats=stats)
+    result = SequencePhaseResult(stats=stats, collect_counts=collect_counts)
 
     # Bitset/vertical strategies: compile (and invert) the database once
     # for the whole run — forward passes and the backward phase all reuse
@@ -119,6 +124,7 @@ def apriori_some(
             # materializing them (see count_length2).
             started = time.perf_counter()
             counts = count_length2(sequences, **counting.sharding_kwargs())
+            result.length2_complete = True
             num_candidates = len(l1) * len(l1)
             candidates = sorted(counts)
         else:
@@ -142,6 +148,7 @@ def apriori_some(
                 counts = count_candidates(
                     sequences, candidates, parents=parents, **counting.kwargs()
                 )
+            result.record_counts(k, counts)
             large = filter_large(counts, threshold)
             counting.note_large(sequences, large)
             stats.record_pass(

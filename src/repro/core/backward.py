@@ -79,6 +79,7 @@ def backward_phase(
         stats.skipped_by_containment += len(candidates) - len(remaining)
         started = time.perf_counter()
         counts = count_candidates(sequences, remaining, **counting.kwargs())
+        result.record_counts(length, counts)
         large = filter_large(counts, threshold)
         counting.note_large(sequences, large)
         stats.record_pass(

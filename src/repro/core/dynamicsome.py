@@ -81,14 +81,19 @@ def dynamic_some(
     step: int = 2,
     counting: CountingOptions = CountingOptions(),
     max_length: int | None = None,
+    collect_counts: bool = False,
 ) -> SequencePhaseResult:
-    """Find all large sequences with the DynamicSome algorithm."""
+    """Find all large sequences with the DynamicSome algorithm.
+
+    ``collect_counts`` retains every pass's full counts for the
+    incremental subsystem (see :class:`SequencePhaseResult`).
+    """
     if threshold < 1:
         raise ValueError("threshold must be >= 1")
     if step < 1:
         raise ValueError("step must be >= 1")
     stats = AlgorithmStats("dynamicsome")
-    result = SequencePhaseResult(stats=stats)
+    result = SequencePhaseResult(stats=stats, collect_counts=collect_counts)
 
     # Bitset/vertical strategies: compile (and invert) the database once;
     # the initialization, forward (on-the-fly), and backward passes all
@@ -120,6 +125,7 @@ def dynamic_some(
         if k == 2:
             # Occurring-pairs fast path; C_2 is all |L_1|² ordered pairs.
             counts = count_length2(sequences, **counting.sharding_kwargs())
+            result.length2_complete = True
             num_candidates = len(l1) * len(l1)
             candidates = sorted(counts)
         else:
@@ -134,6 +140,7 @@ def dynamic_some(
                 sequences, candidates, parents=parents, **counting.kwargs()
             )
         stats.record_generated(k, num_candidates)
+        result.record_counts(k, counts)
         candidates_by_length[k] = candidates
         large = filter_large(counts, threshold)
         counting.note_large(sequences, large)
@@ -177,6 +184,14 @@ def dynamic_some(
             sorted(large_step),
             counting,
         )
+        # On-the-fly counts are exact for every generated (= occurring)
+        # candidate; record them like any other pass. The border here is
+        # sparser — never-occurring concatenations are simply absent.
+        result.record_counts(target, counts)
+        if target == 2:
+            # step=1: the k=1 forward pass enumerates every occurring
+            # ordered pair, so the length-2 border is still complete.
+            result.length2_complete = True
         large = filter_large(counts, threshold)
         counting.note_large(sequences, large)
         stats.record_generated(target, len(counts))

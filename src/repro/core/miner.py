@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Literal
 
 if TYPE_CHECKING:
     from repro.db.partitioned import PartitionedDatabase
+    from repro.incremental.state import MiningState
 
 from repro.core.aprioriall import apriori_all
 from repro.core.apriorisome import NextLengthPolicy, apriori_some
@@ -51,6 +52,17 @@ ALGORITHM_NAMES: tuple[AlgorithmName, ...] = (
     "apriorisome",
     "dynamicsome",
 )
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AlgorithmName",
+    "MiningParams",
+    "MiningResult",
+    "Pattern",
+    "mine",
+    "mine_from_transactions",
+    "mine_sequential_patterns",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +117,9 @@ class MiningResult:
     algorithm_stats: AlgorithmStats
     litemset_result: LitemsetResult
     large_counts_by_length: dict[int, int] = field(default_factory=dict)
+    #: Snapshot for the incremental subsystem; populated when the run
+    #: was asked to collect one (``mine(..., collect_state=True)``).
+    state: "MiningState | None" = None
 
     @property
     def num_patterns(self) -> int:
@@ -135,7 +150,7 @@ class MiningResult:
 
 
 def _sequence_phase_runner(
-    params: MiningParams,
+    params: MiningParams, collect_counts: bool
 ) -> Callable[[TransformedDatabase, int], SequencePhaseResult]:
     if params.algorithm == "aprioriall":
         return lambda tdb, threshold: apriori_all(
@@ -143,6 +158,7 @@ def _sequence_phase_runner(
             threshold,
             counting=params.counting,
             max_length=params.max_pattern_length,
+            collect_counts=collect_counts,
         )
     if params.algorithm == "apriorisome":
         return lambda tdb, threshold: apriori_some(
@@ -151,6 +167,7 @@ def _sequence_phase_runner(
             counting=params.counting,
             next_policy=params.next_policy,
             max_length=params.max_pattern_length,
+            collect_counts=collect_counts,
         )
     return lambda tdb, threshold: dynamic_some(
         tdb,
@@ -158,6 +175,7 @@ def _sequence_phase_runner(
         step=params.dynamic_step,
         counting=params.counting,
         max_length=params.max_pattern_length,
+        collect_counts=collect_counts,
     )
 
 
@@ -166,6 +184,7 @@ def mine(
     params: MiningParams,
     *,
     sort_seconds: float = 0.0,
+    collect_state: bool = False,
 ) -> MiningResult:
     """Run phases 2–5 over an already-sorted database.
 
@@ -174,6 +193,12 @@ def mine(
     :class:`~repro.db.partitioned.PartitionedDatabase`; with the latter
     every phase streams partition by partition and peak memory stays at
     one partition, not the database (see :mod:`repro.db.partitioned`).
+
+    With ``collect_state=True`` the result additionally carries a
+    :class:`~repro.incremental.state.MiningState` snapshot — the large
+    sets and the negative border with exact supports — which makes the
+    run updatable by :func:`repro.incremental.update.update_mining`
+    after the database grows (see :mod:`repro.incremental`).
     """
     threshold = db.threshold(params.minsup)
 
@@ -189,7 +214,7 @@ def mine(
     transform_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    phase_result = _sequence_phase_runner(params)(tdb, threshold)
+    phase_result = _sequence_phase_runner(params, collect_state)(tdb, threshold)
     sequence_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
@@ -212,6 +237,25 @@ def mine(
     )
     maximal_seconds = time.perf_counter() - started
 
+    state = None
+    if collect_state:
+        # Imported lazily: the incremental package's public surface
+        # imports this module back.
+        from repro.incremental.state import build_mining_state
+
+        state = build_mining_state(
+            minsup=params.minsup,
+            algorithm=params.algorithm,
+            strategy=params.counting.strategy,
+            num_customers=db.num_customers,
+            generation=getattr(db, "generation", 0),
+            litemset_result=litemset_result,
+            catalog=catalog,
+            phase_result=phase_result,
+            max_pattern_length=params.max_pattern_length,
+            max_litemset_size=params.max_litemset_size,
+        )
+
     return MiningResult(
         patterns=patterns,
         num_customers=db.num_customers,
@@ -230,6 +274,7 @@ def mine(
             length: len(large)
             for length, large in sorted(phase_result.large_by_length.items())
         },
+        state=state,
     )
 
 
@@ -248,11 +293,17 @@ def mine_sequential_patterns(
     minsup: float,
     *,
     algorithm: AlgorithmName = "aprioriall",
+    collect_state: bool = False,
     **kwargs,
 ) -> MiningResult:
     """Convenience wrapper: mine ``db`` at ``minsup`` with one algorithm.
 
-    ``db`` may be in-memory or partitioned, as in :func:`mine`. Extra
-    keyword arguments are forwarded to :class:`MiningParams`.
+    ``db`` may be in-memory or partitioned, as in :func:`mine` —
+    including ``collect_state`` for an updatable result. Extra keyword
+    arguments are forwarded to :class:`MiningParams`.
     """
-    return mine(db, MiningParams(minsup=minsup, algorithm=algorithm, **kwargs))
+    return mine(
+        db,
+        MiningParams(minsup=minsup, algorithm=algorithm, **kwargs),
+        collect_state=collect_state,
+    )

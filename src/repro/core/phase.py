@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from typing import Collection
+from typing import Collection, Mapping
 
 from repro.core.counting import (
     COUNTING_STRATEGIES,
@@ -133,10 +133,38 @@ class CountingOptions:
 
 @dataclass(slots=True)
 class SequencePhaseResult:
-    """Large sequences by length, with supports, plus run counters."""
+    """Large sequences by length, with supports, plus run counters.
+
+    With ``collect_counts`` enabled (the algorithms take it as a
+    keyword; :func:`repro.core.miner.mine` sets it for
+    ``collect_state=True`` runs), ``counted_by_length`` retains every
+    counting pass's full result — the large sequences *and* the
+    negative border (candidates counted but below threshold), with
+    exact supports. A key's presence means its count is exact for this
+    database; absence means the run never counted it (it may have been
+    skipped, pruned, or never generated). ``length2_complete`` marks
+    that the length-2 pass counted **every occurring pair** over the
+    run's litemset alphabet, so an absent length-2 pair over that
+    alphabet has support exactly 0. Both feed the incremental
+    subsystem's :class:`~repro.incremental.state.MiningState` snapshot.
+    Runs that never asked for a snapshot keep ``collect_counts`` off,
+    so each pass's counts are dropped after its support filter exactly
+    as before — no retention cost.
+    """
 
     large_by_length: dict[int, dict[IdSequence, int]] = field(default_factory=dict)
     stats: AlgorithmStats = field(default_factory=lambda: AlgorithmStats("unknown"))
+    counted_by_length: dict[int, dict[IdSequence, int]] = field(
+        default_factory=dict
+    )
+    length2_complete: bool = False
+    collect_counts: bool = False
+
+    def record_counts(self, length: int, counts: Mapping[IdSequence, int]) -> None:
+        """Retain one pass's exact counts (large and small alike); no-op
+        unless this run collects state."""
+        if self.collect_counts:
+            self.counted_by_length.setdefault(length, {}).update(counts)
 
     def all_large(self) -> dict[IdSequence, int]:
         """Union of large sequences across lengths (id alphabet)."""

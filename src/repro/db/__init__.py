@@ -1,2 +1,33 @@
-"""Transaction database substrate: records, sort phase, transformation,
-and the out-of-core partitioned database (:mod:`repro.db.partitioned`)."""
+"""Transaction database substrate: records, the sort phase, the
+transformation phase, and the out-of-core partitioned database with
+appendable delta generations (:mod:`repro.db.partitioned`).
+
+The stable entry points re-exported here are the two database types —
+in-memory :class:`SequenceDatabase` and disk-backed
+:class:`PartitionedDatabase` (duck-type compatible everywhere the
+pipeline looks) — their shared record types, and the support-threshold
+arithmetic every algorithm, oracle and test derives its integer cutoff
+from.
+"""
+
+from repro.db.database import (
+    CustomerSequence,
+    DatabaseStats,
+    SequenceDatabase,
+    support_threshold,
+)
+from repro.db.partitioned import DeltaView, PartitionedDatabase
+from repro.db.records import Transaction
+from repro.db.transform import TransformedDatabase, transform_database
+
+__all__ = [
+    "CustomerSequence",
+    "DatabaseStats",
+    "DeltaView",
+    "PartitionedDatabase",
+    "SequenceDatabase",
+    "Transaction",
+    "TransformedDatabase",
+    "support_threshold",
+    "transform_database",
+]

@@ -32,6 +32,19 @@ makes streaming creation possible without knowing the total count;
 iteration (`__iter__`) K-way-merges the partitions back into ascending
 ``customer_id`` order, so a partitioned database enumerates customers
 exactly like its in-memory equivalent.
+
+A partitioned database is also **appendable** (the substrate of the
+incremental-mining subsystem, :mod:`repro.incremental`): each
+:meth:`PartitionedDatabase.append_delta` call adds one *generation* of
+new data without rewriting any existing partition file. New customers
+land in fresh ``delta-GGGGG-part-*.binlog`` partitions; additional
+transactions for customers that already exist land as *overlay* records
+in ``delta-GGGGG-overlay.binlog`` and are spliced onto the owning
+customer's event list during iteration (appended transactions are later
+in time, so the merged sequence is simply base events followed by
+overlay events, in generation order). :meth:`delta_since` exposes
+exactly what changed after a given generation — the view the
+incremental miner counts instead of rescanning the base.
 """
 
 from __future__ import annotations
@@ -57,6 +70,16 @@ MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = "seqmine-partitioned"
 MANIFEST_VERSION = 1
 
+#: File name of the mining-state snapshot the incremental subsystem
+#: serializes next to the manifest (see :mod:`repro.io.state`).
+MINING_STATE_NAME = "mining_state.json"
+
+
+def _write_manifest(path: Path, manifest: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+
 #: Rough ratio of resident Python-object footprint to binlog bytes, used
 #: to pick a partition count from a ``--max-memory-mb`` budget. Python
 #: tuples/ints cost an order of magnitude more than varints on disk;
@@ -73,6 +96,14 @@ TEXT_TO_BINLOG_FACTOR = 0.42
 
 def partition_file_name(index: int) -> str:
     return f"part-{index:05d}.binlog"
+
+
+def delta_partition_file_name(generation: int, index: int) -> str:
+    return f"delta-{generation:05d}-part-{index:05d}.binlog"
+
+
+def delta_overlay_file_name(generation: int) -> str:
+    return f"delta-{generation:05d}-overlay.binlog"
 
 
 def transformed_file_name(index: int) -> str:
@@ -126,9 +157,24 @@ class PartitionedDatabase:
             self.directory / partition_file_name(i)
             for i in range(manifest["partitions"])
         ]
+        # Every partition's generation: 0 for the base files, then the
+        # delta generations in order. Appends only ever add entries, so
+        # a partition index is stable for the lifetime of the database.
+        self._partition_generations = [0] * manifest["partitions"]
+        for delta in manifest.get("deltas", ()):
+            for i in range(delta["partitions"]):
+                self.partition_paths.append(
+                    self.directory
+                    / delta_partition_file_name(delta["generation"], i)
+                )
+                self._partition_generations.append(delta["generation"])
         for path in self.partition_paths:
             if not path.exists():
                 raise ValueError(f"{self.directory}: missing partition {path.name}")
+        for path in self.overlay_paths():
+            if not path.exists():
+                raise ValueError(f"{self.directory}: missing overlay {path.name}")
+        self._overlay_cache: list[tuple[int, dict[int, tuple]]] | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -169,6 +215,11 @@ class PartitionedDatabase:
             manifest_path.unlink()
             for stale in directory.glob("part-*.binlog"):
                 stale.unlink()
+            for stale in directory.glob("delta-*.binlog"):
+                stale.unlink()
+            stale_state = directory / MINING_STATE_NAME
+            if stale_state.exists():
+                stale_state.unlink()  # snapshot of the replaced database
             shutil.rmtree(directory / "transformed", ignore_errors=True)
         directory.mkdir(parents=True, exist_ok=True)
         writers = [
@@ -212,10 +263,16 @@ class PartitionedDatabase:
             "num_transactions": num_transactions,
             "num_items_total": num_items_total,
             "num_distinct_items": len(vocabulary),
+            # Append bookkeeping: the id watermark splits a future delta
+            # into overlay records (id <= max) vs new customers (id >
+            # max), and the exact vocabulary keeps num_distinct_items
+            # maintainable without rescanning the base. Both optional on
+            # read, so pre-append manifests still open.
+            "max_customer_id": last_id if last_id is not None else 0,
+            "vocabulary": sorted(vocabulary),
+            "deltas": [],
         }
-        with open(manifest_path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2)
-            handle.write("\n")
+        _write_manifest(manifest_path, manifest)
         return cls(directory, manifest)
 
     @classmethod
@@ -272,19 +329,89 @@ class PartitionedDatabase:
 
     @property
     def num_partitions(self) -> int:
+        """All partitions across generations (base + every delta)."""
+        return len(self.partition_paths)
+
+    @property
+    def num_base_partitions(self) -> int:
         return self._manifest["partitions"]
 
     @property
     def num_customers(self) -> int:
         return self._manifest["num_customers"]
 
+    @property
+    def generation(self) -> int:
+        """How many deltas have been appended (0 = never appended)."""
+        deltas = self._manifest.get("deltas", ())
+        return deltas[-1]["generation"] if deltas else 0
+
+    def num_customers_at(self, generation: int) -> int:
+        """The customer count as of ``generation`` (before later deltas)."""
+        return self.num_customers - sum(
+            delta["num_new_customers"]
+            for delta in self._manifest.get("deltas", ())
+            if delta["generation"] > generation
+        )
+
     def __len__(self) -> int:
         return self.num_customers
 
-    def iter_partition(self, index: int) -> Iterator[CustomerSequence]:
-        """Stream one partition's customers (file order = id order)."""
+    def overlay_paths(self) -> list[Path]:
+        """Overlay files of every delta generation that has one."""
+        return [
+            self.directory / delta_overlay_file_name(delta["generation"])
+            for delta in self._manifest.get("deltas", ())
+            if delta.get("num_overlay_customers", 0)
+        ]
+
+    def _overlays(self) -> list[tuple[int, dict[int, tuple]]]:
+        """Per-generation overlay maps ``{customer_id: extra events}``.
+
+        Loaded once and kept resident: overlays are delta-sized (the
+        appended transactions of existing customers), not base-sized.
+        """
+        if self._overlay_cache is None:
+            cache: list[tuple[int, dict[int, tuple]]] = []
+            for delta in self._manifest.get("deltas", ()):
+                if not delta.get("num_overlay_customers", 0):
+                    continue
+                path = self.directory / delta_overlay_file_name(
+                    delta["generation"]
+                )
+                cache.append(
+                    (
+                        delta["generation"],
+                        {cid: events for cid, events in BinlogReader(path)},
+                    )
+                )
+            self._overlay_cache = cache
+        return self._overlay_cache
+
+    def _merged_events(
+        self, customer_id: int, events: tuple, max_generation: int | None
+    ) -> tuple:
+        """``events`` plus the customer's overlay transactions, oldest
+        generation first (appended transactions are later in time)."""
+        for generation, overlay in self._overlays():
+            if max_generation is not None and generation > max_generation:
+                break
+            extra = overlay.get(customer_id)
+            if extra:
+                events = events + extra
+        return events
+
+    def iter_partition(
+        self, index: int, *, max_generation: int | None = None
+    ) -> Iterator[CustomerSequence]:
+        """Stream one partition's customers (file order = id order), with
+        overlay transactions of generations ≤ ``max_generation`` (default:
+        all) spliced onto each customer."""
         for customer_id, events in BinlogReader(self.partition_paths[index]):
-            yield CustomerSequence(customer_id=customer_id, events=events)
+            yield CustomerSequence(
+                customer_id=customer_id,
+                events=self._merged_events(customer_id, events, max_generation),
+            )
 
     def __iter__(self) -> Iterator[CustomerSequence]:
         """All customers in ascending id order (K-way streaming merge).
@@ -341,12 +468,199 @@ class PartitionedDatabase:
         )
 
     def disk_bytes(self) -> int:
-        """Total size of the partition files on disk."""
-        return sum(path.stat().st_size for path in self.partition_paths)
+        """Total size of the partition (and overlay) files on disk."""
+        return sum(
+            path.stat().st_size
+            for path in [*self.partition_paths, *self.overlay_paths()]
+        )
 
     def to_memory(self) -> SequenceDatabase:
         """Materialize the whole database in memory (tests, small data)."""
         return SequenceDatabase(list(self))
+
+    # ------------------------------------------------------------------ #
+    # Appending deltas (the incremental-mining substrate)
+    # ------------------------------------------------------------------ #
+
+    def _append_watermarks(self) -> tuple[int, set[int]]:
+        """``(max_customer_id, vocabulary)`` for an append.
+
+        Both live in the manifest for databases created since they were
+        introduced; for an older manifest they are recovered with one
+        streaming scan and persisted immediately, so the scan happens at
+        most once per database (not once per caller)."""
+        max_id = self._manifest.get("max_customer_id")
+        vocabulary = self._manifest.get("vocabulary")
+        if max_id is not None and vocabulary is not None:
+            return max_id, set(vocabulary)
+        max_id = 0
+        items: set[int] = set()
+        for customer in self.iter_unordered():
+            if customer.customer_id > max_id:
+                max_id = customer.customer_id
+            for event in customer.events:
+                items.update(event)
+        manifest = dict(self._manifest)
+        manifest["max_customer_id"] = max_id
+        manifest["vocabulary"] = sorted(items)
+        _write_manifest(self.directory / MANIFEST_NAME, manifest)
+        self._manifest = manifest
+        return max_id, items
+
+    def _missing_customer_ids(self, ids: set[int]) -> set[int]:
+        """The subset of ``ids`` that no existing partition holds; stops
+        scanning as soon as every id is accounted for."""
+        remaining = set(ids)
+        for path in self.partition_paths:
+            if not remaining:
+                break
+            for customer_id, _events in BinlogReader(path):
+                remaining.discard(customer_id)
+                if not remaining:
+                    break
+        return remaining
+
+    def max_customer_id(self) -> int:
+        """The highest customer id in the database — the watermark an
+        append uses to split a delta into overlays (id ≤ max) and new
+        customers (id > max)."""
+        return self._append_watermarks()[0]
+
+    def append_delta(
+        self,
+        customers: Iterable[CustomerSequence],
+        *,
+        partitions: int = 1,
+    ) -> dict:
+        """Append one delta generation without rewriting existing files.
+
+        ``customers`` must arrive in ascending ``customer_id`` order. Ids
+        above the database's current maximum are **new customers** and
+        stream round-robin into ``partitions`` fresh binlog partitions;
+        ids at or below it are **overlay records** — their events are the
+        customer's *additional* (later) transactions and are spliced onto
+        the existing sequence during iteration. Every overlay id must
+        belong to an existing customer: a delta containing overlays is
+        validated with one streaming id scan of the existing partitions
+        (overlay-free appends — the common growth path — skip it), and a
+        dangling id fails the whole append with nothing recorded.
+
+        Returns the manifest entry of the appended delta. The base
+        partitions, earlier deltas, and any mining-state snapshot are
+        untouched; re-mining (full or incremental) sees the merged
+        database.
+        """
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        max_id, vocabulary = self._append_watermarks()
+        generation = self.generation + 1
+        overlay_path = self.directory / delta_overlay_file_name(generation)
+        part_paths = [
+            self.directory / delta_partition_file_name(generation, i)
+            for i in range(partitions)
+        ]
+        writers: list[BinlogWriter] = []
+        overlay_writer: BinlogWriter | None = None
+        overlay_ids: set[int] = set()
+        num_new = 0
+        num_overlay = 0
+        num_transactions = 0
+        num_items_total = 0
+        last_id: int | None = None
+        try:
+            for customer in customers:
+                if last_id is not None and customer.customer_id <= last_id:
+                    raise ValueError(
+                        f"delta customers must arrive in ascending id order "
+                        f"(got {customer.customer_id} after {last_id})"
+                    )
+                last_id = customer.customer_id
+                if not customer.events:
+                    raise ValueError(
+                        f"delta record for customer {customer.customer_id} "
+                        f"has no transactions"
+                    )
+                if customer.customer_id <= max_id:
+                    if overlay_writer is None:
+                        overlay_writer = BinlogWriter(overlay_path)
+                    overlay_writer.append(customer.customer_id, customer.events)
+                    overlay_ids.add(customer.customer_id)
+                    num_overlay += 1
+                else:
+                    if not writers:
+                        writers = [BinlogWriter(path) for path in part_paths]
+                    writers[num_new % partitions].append(
+                        customer.customer_id, customer.events
+                    )
+                    num_new += 1
+                num_transactions += len(customer.events)
+                for event in customer.events:
+                    num_items_total += len(event)
+                    vocabulary.update(event)
+        except BaseException:
+            for writer in writers:
+                writer.abort()
+            if overlay_writer is not None:
+                overlay_writer.abort()
+            raise
+        for writer in writers:
+            writer.close()
+        if overlay_writer is not None:
+            overlay_writer.close()
+        if num_overlay:
+            dangling = self._missing_customer_ids(overlay_ids)
+            if dangling:
+                # Fail the append wholesale: a silently half-applied
+                # delta (overlays that no iteration would ever splice)
+                # must not read back as appended data.
+                overlay_path.unlink()
+                for path in part_paths:
+                    if path.exists():
+                        path.unlink()
+                raise ValueError(
+                    f"overlay records reference customers that do not "
+                    f"exist: {sorted(dangling)[:5]}"
+                )
+        if not writers:
+            # No new customers: drop the unused partition files entirely
+            # rather than recording empty ones.
+            part_paths = []
+        entry = {
+            "generation": generation,
+            "partitions": len(part_paths),
+            "num_new_customers": num_new,
+            "num_overlay_customers": num_overlay,
+            # Id watermark when this delta was appended: ids above it are
+            # customers that did not exist before this generation.
+            "max_customer_id_before": max_id,
+        }
+        manifest = dict(self._manifest)
+        manifest["num_customers"] = manifest["num_customers"] + num_new
+        manifest["num_transactions"] = (
+            manifest["num_transactions"] + num_transactions
+        )
+        manifest["num_items_total"] = manifest["num_items_total"] + num_items_total
+        manifest["num_distinct_items"] = len(vocabulary)
+        manifest["max_customer_id"] = max(
+            max_id, last_id if last_id is not None else 0
+        )
+        manifest["vocabulary"] = sorted(vocabulary)
+        manifest["deltas"] = list(manifest.get("deltas", ())) + [entry]
+        _write_manifest(self.directory / MANIFEST_NAME, manifest)
+        self._manifest = manifest
+        for path in part_paths:
+            self.partition_paths.append(path)
+            self._partition_generations.append(generation)
+        self._overlay_cache = None
+        return entry
+
+    def delta_since(self, generation: int) -> "DeltaView":
+        """Everything appended after ``generation`` (see :class:`DeltaView`)."""
+        if not 0 <= generation <= self.generation:
+            raise ValueError(
+                f"generation {generation} out of range 0..{self.generation}"
+            )
+        return DeltaView(self, generation)
 
     # ------------------------------------------------------------------ #
     # Transformation phase (streamed, partition by partition)
@@ -392,6 +706,104 @@ class PartitionedDatabase:
             catalog=catalog,
             max_sequence_length=max_sequence_length,
         )
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaView:
+    """What changed in a :class:`PartitionedDatabase` after ``since``.
+
+    The incremental miner (:mod:`repro.incremental.update`) counts
+    retained candidates against exactly this view instead of rescanning
+    the base: customer support is additive across disjoint customer
+    sets, and an overlaid customer's contribution change is the
+    difference between its merged and its pre-delta sequence —
+
+    ``new_count(s) = old_count(s) + count(s, additions) − count(s, removals)``
+
+    where :meth:`additions` is the new customers plus the touched
+    customers' merged sequences and :meth:`removals` is the touched
+    customers' pre-delta sequences.
+    """
+
+    db: PartitionedDatabase
+    since: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.db.generation <= self.since
+
+    def new_customers(self) -> Iterator[CustomerSequence]:
+        """Customers introduced after ``since`` (later overlays merged)."""
+        for index, generation in enumerate(self.db._partition_generations):
+            if generation > self.since:
+                yield from self.db.iter_partition(index)
+
+    def touched_customers(
+        self,
+    ) -> list[tuple[CustomerSequence, CustomerSequence]]:
+        """``(pre-delta, merged)`` sequence pairs of every customer that
+        existed at ``since`` and gained overlay transactions afterwards.
+
+        Fetching the pre-delta sequences streams the ≤ ``since``
+        partitions once, materializing only the touched customers —
+        an I/O pass over the old data, but no candidate counting."""
+        touched: set[int] = set()
+        watermark: int | None = None
+        for delta in self.db._manifest.get("deltas", ()):
+            if delta["generation"] > self.since and watermark is None:
+                watermark = delta["max_customer_id_before"]
+        for generation, overlay in self.db._overlays():
+            if generation > self.since:
+                touched.update(
+                    cid for cid in overlay
+                    if watermark is None or cid <= watermark
+                )
+        if not touched:
+            return []
+        pairs: list[tuple[CustomerSequence, CustomerSequence]] = []
+        remaining = set(touched)
+        for index, generation in enumerate(self.db._partition_generations):
+            if generation > self.since or not remaining:
+                continue
+            for customer_id, events in BinlogReader(
+                self.db.partition_paths[index]
+            ):
+                if customer_id not in remaining:
+                    continue
+                remaining.discard(customer_id)
+                pairs.append(
+                    (
+                        CustomerSequence(
+                            customer_id=customer_id,
+                            events=self.db._merged_events(
+                                customer_id, events, self.since
+                            ),
+                        ),
+                        CustomerSequence(
+                            customer_id=customer_id,
+                            events=self.db._merged_events(
+                                customer_id, events, None
+                            ),
+                        ),
+                    )
+                )
+        if remaining:
+            raise ValueError(
+                f"overlay records reference customers that do not exist: "
+                f"{sorted(remaining)[:5]}"
+            )
+        return pairs
+
+    def additions(self) -> list[CustomerSequence]:
+        """New customers plus touched customers' merged sequences."""
+        merged = [after for _before, after in self.touched_customers()]
+        return [*self.new_customers(), *merged]
+
+    def removals(self) -> list[CustomerSequence]:
+        """Touched customers' pre-delta sequences (their support
+        contribution is superseded by the merged form in
+        :meth:`additions`)."""
+        return [before for before, _after in self.touched_customers()]
 
 
 class PartitionedSequences:

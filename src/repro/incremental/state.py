@@ -1,0 +1,150 @@
+"""The mining-state snapshot: what one run must remember to be updatable.
+
+A later delta re-mine (:mod:`repro.incremental.update`) needs, for every
+candidate the original run counted, its **exact** support over the
+original database — large and small (the *negative border*) alike.
+Support of a retained candidate over the grown database is then the old
+count plus its count over the delta only; only candidates the original
+run never counted require touching the old data again.
+
+Sequences are stored in **expanded form** — tuples of itemsets, not
+litemset ids — because the litemset catalog (the id alphabet) is itself
+recomputed by every update: an itemset's id depends on which itemsets
+are large, which the delta can change. Expanded-form supports are
+catalog-independent, so a snapshot taken under one alphabet seeds a
+re-mine under another.
+
+A snapshot is algorithm-agnostic on both ends: AprioriAll, AprioriSome
+and DynamicSome runs all produce one (they record every counting pass's
+counts in :class:`~repro.core.phase.SequencePhaseResult`), and the
+update consumes it purely as a count cache — a candidate missing from
+the cache is simply recounted, so the skip-ahead algorithms' sparser
+borders cost extra work, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.sequence import Itemset
+from repro.db.database import support_threshold
+
+if TYPE_CHECKING:
+    from repro.core.phase import SequencePhaseResult
+    from repro.itemsets.apriori import LitemsetResult
+    from repro.itemsets.litemsets import LitemsetCatalog
+
+#: A sequence over the item alphabet: one canonical (ascending) itemset
+#: tuple per event. The catalog-independent key of the count cache.
+ExpandedSequence = tuple[Itemset, ...]
+
+STATE_FORMAT = "seqmine-mining-state"
+STATE_VERSION = 1
+
+
+@dataclass(slots=True)
+class MiningState:
+    """Snapshot of one mining run over one database generation.
+
+    ``item_counts`` holds the exact customer support of **every** item
+    seen in the database (the litemset phase counts all of them);
+    ``itemset_counts`` of every counted candidate itemset of length ≥ 2;
+    ``sequence_counts`` of every counted candidate sequence of length
+    ≥ 2, in expanded form. Presence of a key means the count is exact
+    for the snapshot's database; absence means the run never counted it.
+    ``length2_complete`` additionally promises that every *occurring*
+    length-2 sequence over the run's litemset alphabet is present, so an
+    absent pair over that alphabet has support exactly 0.
+    """
+
+    minsup: float
+    algorithm: str
+    strategy: str
+    num_customers: int
+    generation: int
+    length2_complete: bool
+    item_counts: dict[int, int] = field(default_factory=dict)
+    itemset_counts: dict[Itemset, int] = field(default_factory=dict)
+    sequence_counts: dict[ExpandedSequence, int] = field(default_factory=dict)
+    max_pattern_length: int | None = None
+    max_litemset_size: int | None = None
+
+    @property
+    def threshold(self) -> int:
+        """The snapshot run's integer support threshold."""
+        return support_threshold(self.minsup, self.num_customers)
+
+    def large_itemsets(self) -> dict[Itemset, int]:
+        """The snapshot's litemset catalog content (all lengths), i.e.
+        every counted itemset that met the snapshot's threshold."""
+        threshold = self.threshold
+        large = {
+            (item,): count
+            for item, count in self.item_counts.items()
+            if count >= threshold
+        }
+        large.update(
+            (itemset, count)
+            for itemset, count in self.itemset_counts.items()
+            if count >= threshold
+        )
+        return large
+
+    def num_border_itemsets(self) -> int:
+        threshold = self.threshold
+        small_items = sum(
+            1 for count in self.item_counts.values() if count < threshold
+        )
+        return small_items + sum(
+            1 for count in self.itemset_counts.values() if count < threshold
+        )
+
+    def num_border_sequences(self) -> int:
+        threshold = self.threshold
+        return sum(
+            1 for count in self.sequence_counts.values() if count < threshold
+        )
+
+
+def build_mining_state(
+    *,
+    minsup: float,
+    algorithm: str,
+    strategy: str,
+    num_customers: int,
+    generation: int,
+    litemset_result: "LitemsetResult",
+    catalog: "LitemsetCatalog",
+    phase_result: "SequencePhaseResult",
+    max_pattern_length: int | None = None,
+    max_litemset_size: int | None = None,
+) -> MiningState:
+    """Assemble a snapshot from the artifacts of one mining run.
+
+    The sequence-phase counts arrive over the run's litemset-id alphabet
+    and are expanded through ``catalog`` here, making the stored state
+    independent of the id assignment.
+    """
+    sequence_counts: dict[ExpandedSequence, int] = {}
+    for length, counts in phase_result.counted_by_length.items():
+        if length < 2:
+            continue  # length 1 is derivable from the itemset supports
+        for id_sequence, count in counts.items():
+            expanded = tuple(
+                catalog.itemset_of(lid) for lid in id_sequence
+            )
+            sequence_counts[expanded] = count
+    return MiningState(
+        minsup=minsup,
+        algorithm=algorithm,
+        strategy=strategy,
+        num_customers=num_customers,
+        generation=generation,
+        length2_complete=phase_result.length2_complete,
+        item_counts=dict(litemset_result.item_counts),
+        itemset_counts=dict(litemset_result.counted_supports),
+        sequence_counts=sequence_counts,
+        max_pattern_length=max_pattern_length,
+        max_litemset_size=max_litemset_size,
+    )

@@ -1,2 +1,58 @@
-"""Readers and writers: CSV transaction tables, SPMF format, pattern
-files, and the binary binlog partition format (:mod:`repro.io.binlog`)."""
+"""Readers and writers: CSV transaction tables, the SPMF interchange
+format, mined-pattern files, the binary binlog partition format
+(:mod:`repro.io.binlog`), and the incremental mining-state snapshot
+(:mod:`repro.io.state`).
+
+Shared conventions: every reader validates what it parses and raises a
+``ValueError`` subclass naming the file (and, where it can, the line or
+byte offset) — :class:`~repro.io.spmf.SpmfFormatError`,
+:class:`~repro.io.patterns.PatternFormatError`,
+:class:`~repro.io.binlog.BinlogFormatError`,
+:class:`~repro.io.state.MiningStateError` — which the CLI surfaces as a
+one-line error with exit status 1.
+
+The re-exports below resolve lazily (PEP 562): several submodules
+import back into :mod:`repro.core` (pattern files carry
+:class:`~repro.core.miner.Pattern` objects, the state file carries
+:class:`~repro.incremental.state.MiningState`), and binding them at
+package-import time would cycle through the counting layer's own
+``repro.io.binlog`` import.
+"""
+
+from importlib import import_module
+
+#: Stable name → defining submodule; see ``docs/API.md``.
+_EXPORTS = {
+    "BinlogFormatError": "repro.io.binlog",
+    "BinlogReader": "repro.io.binlog",
+    "BinlogWriter": "repro.io.binlog",
+    "MiningStateError": "repro.io.state",
+    "PatternFormatError": "repro.io.patterns",
+    "SpmfFormatError": "repro.io.spmf",
+    "iter_spmf": "repro.io.spmf",
+    "patterns_from_json": "repro.io.patterns",
+    "patterns_to_json": "repro.io.patterns",
+    "read_database_csv": "repro.io.csvio",
+    "read_mining_state": "repro.io.state",
+    "read_patterns": "repro.io.patterns",
+    "read_spmf": "repro.io.spmf",
+    "write_mining_state": "repro.io.state",
+    "write_patterns": "repro.io.patterns",
+    "write_spmf": "repro.io.spmf",
+    "write_transactions_csv": "repro.io.csvio",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -16,7 +16,7 @@ the litemset supports double as the supports of all large 1-sequences.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.core.sequence import Itemset
@@ -39,10 +39,21 @@ class LitemsetPassStats:
 
 @dataclass(frozen=True, slots=True)
 class LitemsetResult:
-    """All large itemsets with their customer-support counts."""
+    """All large itemsets with their customer-support counts.
+
+    ``item_counts`` and ``counted_supports`` additionally retain the
+    phase's *negative border* — everything that was counted but fell
+    below the threshold: the exact support of every single item seen in
+    the database, and of every candidate itemset of length ≥ 2 that a
+    pass counted. The incremental subsystem
+    (:mod:`repro.incremental`) snapshots these so a later delta only
+    has to count what the border cannot answer.
+    """
 
     supports: Mapping[Itemset, int]
     passes: tuple[LitemsetPassStats, ...]
+    item_counts: Mapping[int, int] = field(default_factory=dict)
+    counted_supports: Mapping[Itemset, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.supports)
@@ -139,6 +150,7 @@ def find_litemsets(
     threshold = db.threshold(minsup)
     supports: dict[Itemset, int] = {}
     passes: list[LitemsetPassStats] = []
+    counted_supports: dict[Itemset, int] = {}
 
     item_counts: Counter = Counter()
     for customer in _iter_customers(db):
@@ -166,6 +178,8 @@ def find_litemsets(
         counts = count_itemset_supports(
             db, candidates, leaf_capacity=leaf_capacity, branch_factor=branch_factor
         )
+        for candidate in candidates:
+            counted_supports[candidate] = counts[candidate]
         current_large = sorted(
             c for c in candidates if counts[c] >= threshold
         )
@@ -180,4 +194,9 @@ def find_litemsets(
             supports[itemset] = counts[itemset]
         length += 1
 
-    return LitemsetResult(supports=supports, passes=tuple(passes))
+    return LitemsetResult(
+        supports=supports,
+        passes=tuple(passes),
+        item_counts=dict(item_counts),
+        counted_supports=counted_supports,
+    )

@@ -411,3 +411,117 @@ class TestExperiment:
     def test_static_experiment_runs(self, capsys):
         assert main(["experiment", "table1-params"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestAppendUpdateCli:
+    """The incremental CLI surface: mine --save-state → append → update,
+    and its error contract (one stderr line, exit 1, no traceback)."""
+
+    @pytest.fixture()
+    def mined_partition_dir(self, tmp_path, capsys):
+        data = tmp_path / "data.spmf"
+        parts = tmp_path / "parts"
+        assert main([
+            "generate", "--customers", "40", "--seed", "6",
+            "--output", str(data),
+        ]) == 0
+        assert main([
+            "mine", "--input", str(data), "--partition-dir", str(parts),
+            "--partitions", "2", "--minsup", "0.2", "--save-state",
+        ]) == 0
+        capsys.readouterr()
+        return parts
+
+    def test_append_then_update_matches_full_remine(
+        self, tmp_path, mined_partition_dir, capsys
+    ):
+        delta = tmp_path / "delta.spmf"
+        assert main([
+            "generate", "--customers", "10", "--seed", "61",
+            "--output", str(delta),
+        ]) == 0
+        assert main([
+            "append", "--partition-dir", str(mined_partition_dir),
+            "--input", str(delta),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "update", "--partition-dir", str(mined_partition_dir),
+        ]) == 0
+        updated = capsys.readouterr().out
+        assert main([
+            "mine", "--minsup", "0.2",
+            "--partition-dir", str(mined_partition_dir),
+        ]) == 0
+        assert capsys.readouterr().out == updated
+
+    def test_update_without_state_file(self, mined_partition_dir, capsys):
+        (mined_partition_dir / "mining_state.json").unlink()
+        code = main(["update", "--partition-dir", str(mined_partition_dir)])
+        assert code == 1
+        message = one_line_error(capsys)
+        assert "mining_state.json" in message
+        assert "--save-state" in message
+
+    def test_update_with_corrupt_state_file(
+        self, mined_partition_dir, capsys
+    ):
+        (mined_partition_dir / "mining_state.json").write_text("{nope")
+        code = main(["update", "--partition-dir", str(mined_partition_dir)])
+        assert code == 1
+        assert "not valid JSON" in one_line_error(capsys)
+
+    def test_update_with_wrong_format_state_file(
+        self, mined_partition_dir, capsys
+    ):
+        (mined_partition_dir / "mining_state.json").write_text(
+            '{"format": "something-else"}\n'
+        )
+        code = main(["update", "--partition-dir", str(mined_partition_dir)])
+        assert code == 1
+        assert "not a mining-state snapshot" in one_line_error(capsys)
+
+    def test_update_minsup_mismatch(self, mined_partition_dir, capsys):
+        code = main([
+            "update", "--partition-dir", str(mined_partition_dir),
+            "--minsup", "0.3",
+        ])
+        assert code == 1
+        assert "does not match the snapshot's minsup" in one_line_error(
+            capsys
+        )
+
+    def test_update_on_missing_database(self, tmp_path, capsys):
+        code = main(["update", "--partition-dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "missing manifest.json" in one_line_error(capsys)
+
+    def test_append_on_missing_database(self, tmp_path, capsys):
+        code = main([
+            "append", "--partition-dir", str(tmp_path / "nope"),
+            "--input", str(tmp_path / "delta.spmf"),
+        ])
+        assert code == 1
+        assert "missing manifest.json" in one_line_error(capsys)
+
+    def test_append_with_missing_input(self, mined_partition_dir, capsys):
+        code = main([
+            "append", "--partition-dir", str(mined_partition_dir),
+            "--input", str(mined_partition_dir / "no-such.spmf"),
+        ])
+        assert code == 1
+        assert "No such file" in one_line_error(capsys)
+
+    def test_save_state_requires_partition_dir(self, tmp_path, capsys):
+        data = tmp_path / "data.spmf"
+        assert main([
+            "generate", "--customers", "10", "--output", str(data),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "mine", "--input", str(data), "--minsup", "0.25", "--save-state",
+        ])
+        assert code == 1
+        assert "--save-state requires --partition-dir" in one_line_error(
+            capsys
+        )
