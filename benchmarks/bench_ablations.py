@@ -6,16 +6,17 @@
 * DynamicSome's step (§3.5).
 """
 
-from benchmarks.conftest import assert_no_disagreement
+from benchmarks.conftest import SaveFigure, assert_no_disagreement
 from repro.experiments.figures import (
     ablation_counting,
     ablation_dynamic_step,
     ablation_next_policy,
     ablation_phases,
 )
+from pytest_benchmark.fixture import BenchmarkFixture
 
 
-def test_ablation_counting(benchmark, save_figure):
+def test_ablation_counting(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(ablation_counting, rounds=1, iterations=1)
     save_figure(figure)
     assert_no_disagreement(figure)
@@ -24,7 +25,7 @@ def test_ablation_counting(benchmark, save_figure):
     assert by_strategy["hashtree"][2] == by_strategy["naive"][2]
 
 
-def test_ablation_phases(benchmark, save_figure):
+def test_ablation_phases(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(ablation_phases, rounds=1, iterations=1)
     save_figure(figure)
     assert len(figure.rows) == 3
@@ -33,7 +34,7 @@ def test_ablation_phases(benchmark, save_figure):
         assert row[5] >= row[1] + row[2] + row[3] + row[4] - 1e-6
 
 
-def test_ablation_next_policy(benchmark, save_figure):
+def test_ablation_next_policy(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(ablation_next_policy, rounds=1, iterations=1)
     save_figure(figure)
     # All policies agree on the answer.
@@ -41,7 +42,7 @@ def test_ablation_next_policy(benchmark, save_figure):
     assert len(patterns) == 1
 
 
-def test_ablation_dynamic_step(benchmark, save_figure):
+def test_ablation_dynamic_step(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(ablation_dynamic_step, rounds=1, iterations=1)
     save_figure(figure)
     patterns = {row[2] for row in figure.rows}

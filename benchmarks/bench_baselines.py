@@ -15,9 +15,11 @@ from repro.experiments.datasets import bench_minsups, load_dataset
 from repro.experiments.harness import run_mining
 
 DATASET = "C10-T2.5-S4-I1.25"
+from pytest_benchmark.fixture import BenchmarkFixture
+from benchmarks.conftest import SaveFigure
 
 
-def _compare():
+def _compare() -> tuple[list[list[object]], bool]:
     db = load_dataset(DATASET)
     rows = []
     identical = True
@@ -43,7 +45,7 @@ def _compare():
     return rows, identical
 
 
-def test_prefixspan_vs_apriori(benchmark, save_figure):
+def test_prefixspan_vs_apriori(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     rows, identical = benchmark.pedantic(_compare, rounds=1, iterations=1)
     table = format_table(
         ("minsup", "miner", "seconds", "maximal_patterns", "answers_match"),
@@ -57,7 +59,7 @@ def test_prefixspan_vs_apriori(benchmark, save_figure):
         series = {}
 
         @staticmethod
-        def render(chart=True):
+        def render(chart: bool = True) -> str:
             return table
 
     save_figure(_Figure)

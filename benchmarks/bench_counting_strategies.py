@@ -33,6 +33,7 @@ import argparse
 import os
 import sys
 import time
+from typing import Callable
 
 from results_io import write_bench_json
 
@@ -52,7 +53,7 @@ from repro.itemsets.apriori import find_litemsets
 from repro.itemsets.litemsets import LitemsetCatalog
 
 
-def best_of(repeats: int, fn) -> float:
+def best_of(repeats: int, fn: Callable[[], object]) -> float:
     """Minimum wall-clock over ``repeats`` calls (noise-resistant)."""
     timings = []
     for _ in range(repeats):
@@ -144,7 +145,7 @@ def main() -> int:
         # run's first execution of the pass would.
         cache_at_entry = databases["vertical"].cache.snapshot()
 
-        def run_vertical(count):
+        def run_vertical(count: Callable[[], dict]) -> dict:
             databases["vertical"].cache.restore(cache_at_entry)
             return count()
 

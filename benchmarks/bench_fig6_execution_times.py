@@ -11,13 +11,16 @@ Paper shape to verify by eye in the saved reports:
 
 import pytest
 
-from benchmarks.conftest import assert_no_disagreement
+from benchmarks.conftest import SaveFigure, assert_no_disagreement
 from repro.experiments.datasets import PAPER_DATASETS
 from repro.experiments.figures import fig6_execution_times
+from pytest_benchmark.fixture import BenchmarkFixture
 
 
 @pytest.mark.parametrize("dataset", PAPER_DATASETS)
-def test_fig6_panel(benchmark, save_figure, dataset):
+def test_fig6_panel(
+    benchmark: BenchmarkFixture, save_figure: SaveFigure, dataset: str
+) -> None:
     figure = benchmark.pedantic(
         fig6_execution_times, args=(dataset,), rounds=1, iterations=1
     )

@@ -6,11 +6,12 @@ DynamicSome never counted because they were contained in an already-found
 longer large sequence.
 """
 
-from benchmarks.conftest import assert_no_disagreement
+from benchmarks.conftest import SaveFigure, assert_no_disagreement
 from repro.experiments.figures import fig7_candidate_counts
+from pytest_benchmark.fixture import BenchmarkFixture
 
 
-def test_fig7_candidates(benchmark, save_figure):
+def test_fig7_candidates(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(fig7_candidate_counts, rounds=1, iterations=1)
     save_figure(figure)
     assert_no_disagreement(figure)

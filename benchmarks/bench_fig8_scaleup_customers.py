@@ -1,10 +1,11 @@
 """Fig. 8: scale-up with the number of customers (paper reports ~linear)."""
 
-from benchmarks.conftest import assert_no_disagreement
+from benchmarks.conftest import SaveFigure, assert_no_disagreement
 from repro.experiments.figures import fig8_scaleup_customers
+from pytest_benchmark.fixture import BenchmarkFixture
 
 
-def test_fig8_scaleup_customers(benchmark, save_figure):
+def test_fig8_scaleup_customers(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(fig8_scaleup_customers, rounds=1, iterations=1)
     save_figure(figure)
     assert_no_disagreement(figure)

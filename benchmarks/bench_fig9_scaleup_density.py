@@ -1,11 +1,12 @@
 """Fig. 9: scale-up with transactions-per-customer and items-per-transaction
 (the paper reports superlinear growth with sequence density)."""
 
-from benchmarks.conftest import assert_no_disagreement
+from benchmarks.conftest import SaveFigure, assert_no_disagreement
 from repro.experiments.figures import fig9_scaleup_density
+from pytest_benchmark.fixture import BenchmarkFixture
 
 
-def test_fig9_scaleup_density(benchmark, save_figure):
+def test_fig9_scaleup_density(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(fig9_scaleup_density, rounds=1, iterations=1)
     save_figure(figure)
     assert_no_disagreement(figure)

@@ -40,7 +40,7 @@ if SRC not in sys.path:
 
 from results_io import write_bench_json  # noqa: E402
 
-from repro.core.miner import MiningParams, mine  # noqa: E402
+from repro.miner import MiningParams, MiningResult, mine  # noqa: E402
 from repro.core.phase import CountingOptions  # noqa: E402
 from repro.datagen.generator import iter_customer_sequences  # noqa: E402
 from repro.datagen.params import SyntheticParams  # noqa: E402
@@ -52,7 +52,7 @@ from repro.incremental import update_mining  # noqa: E402
 from repro.io.state import read_mining_state, write_mining_state  # noqa: E402
 
 
-def pattern_digest(result) -> str:
+def pattern_digest(result: MiningResult) -> str:
     return hashlib.sha256(
         "\n".join(str(p) for p in result.patterns).encode()
     ).hexdigest()

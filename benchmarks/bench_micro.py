@@ -18,9 +18,12 @@ from repro.core.sequence import OccurrenceIndex, id_sequence_contains
 from repro.itemsets.hashtree import ItemsetHashTree
 
 RNG = random.Random(1995)
+from pytest_benchmark.fixture import BenchmarkFixture
 
 
-def _random_id_events(num_events=10, alphabet=200, per_event=4):
+def _random_id_events(
+    num_events: int = 10, alphabet: int = 200, per_event: int = 4
+) -> tuple[frozenset[int], ...]:
     return tuple(
         frozenset(RNG.randint(1, alphabet) for _ in range(per_event))
         for _ in range(num_events)
@@ -36,7 +39,7 @@ CANDIDATES = sorted(
 )
 
 
-def test_itemset_hashtree_subsets(benchmark):
+def test_itemset_hashtree_subsets(benchmark: BenchmarkFixture) -> None:
     stored = sorted(
         {
             tuple(sorted(RNG.sample(range(1, 120), RNG.randint(1, 3))))
@@ -48,23 +51,23 @@ def test_itemset_hashtree_subsets(benchmark):
     benchmark(tree.subsets_of, transaction)
 
 
-def test_sequence_hashtree_contained_in(benchmark):
+def test_sequence_hashtree_contained_in(benchmark: BenchmarkFixture) -> None:
     tree = SequenceHashTree(CANDIDATES)
     events = CUSTOMERS[0]
 
-    def probe():
+    def probe() -> set:
         return tree.contained_in(OccurrenceIndex(events))
 
     benchmark(probe)
 
 
-def test_greedy_containment(benchmark):
+def test_greedy_containment(benchmark: BenchmarkFixture) -> None:
     events = CUSTOMERS[0]
     pattern = CANDIDATES[0]
     benchmark(id_sequence_contains, pattern, events)
 
 
-def test_count_candidates_hashtree(benchmark):
+def test_count_candidates_hashtree(benchmark: BenchmarkFixture) -> None:
     benchmark.pedantic(
         count_candidates,
         args=(CUSTOMERS, CANDIDATES),
@@ -74,7 +77,7 @@ def test_count_candidates_hashtree(benchmark):
     )
 
 
-def test_count_candidates_naive(benchmark):
+def test_count_candidates_naive(benchmark: BenchmarkFixture) -> None:
     benchmark.pedantic(
         count_candidates,
         args=(CUSTOMERS, CANDIDATES),
@@ -84,16 +87,16 @@ def test_count_candidates_naive(benchmark):
     )
 
 
-def test_count_length2_fast_path(benchmark):
+def test_count_length2_fast_path(benchmark: BenchmarkFixture) -> None:
     benchmark.pedantic(count_length2, args=(CUSTOMERS,), rounds=3, iterations=1)
 
 
-def test_apriori_generate(benchmark):
+def test_apriori_generate(benchmark: BenchmarkFixture) -> None:
     pairs = sorted({(RNG.randint(1, 60), RNG.randint(1, 60)) for _ in range(900)})
     benchmark(apriori_generate, pairs)
 
 
-def test_maximal_filter(benchmark):
+def test_maximal_filter(benchmark: BenchmarkFixture) -> None:
     supported = {}
     for _ in range(400):
         length = RNG.randint(1, 4)
@@ -106,7 +109,7 @@ def test_maximal_filter(benchmark):
 
 
 @pytest.mark.parametrize("strategy", ["hashtree", "naive"])
-def test_counting_strategies_same_result(strategy, benchmark):
+def test_counting_strategies_same_result(strategy: str, benchmark: BenchmarkFixture) -> None:
     """Guard: both engines count identically on the micro workload."""
     counts = benchmark.pedantic(
         count_candidates,

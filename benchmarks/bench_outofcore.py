@@ -28,6 +28,11 @@ Run:  PYTHONPATH=src python benchmarks/bench_outofcore.py
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.db.partitioned import PartitionedDatabase
+
 import argparse
 import hashlib
 import json
@@ -55,8 +60,10 @@ def rss_mb() -> float:
     return peak / 1024.0
 
 
-def _mine_and_report(db, args: argparse.Namespace, load_rss: float) -> None:
-    from repro.core.miner import MiningParams, mine
+def _mine_and_report(
+    db: "PartitionedDatabase", args: argparse.Namespace, load_rss: float
+) -> None:
+    from repro.miner import MiningParams, mine
     from repro.core.phase import CountingOptions
 
     params = MiningParams(

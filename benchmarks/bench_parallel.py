@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import os
 import time
+from typing import Callable
 
 from results_io import write_bench_json
 
@@ -41,7 +42,7 @@ from repro.itemsets.apriori import find_litemsets
 from repro.itemsets.litemsets import LitemsetCatalog
 
 
-def best_of(repeats: int, fn) -> float:
+def best_of(repeats: int, fn: Callable[[], object]) -> float:
     """Minimum wall-clock over ``repeats`` calls (noise-resistant)."""
     timings = []
     for _ in range(repeats):

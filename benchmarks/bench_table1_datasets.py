@@ -6,7 +6,7 @@ paper reports as dataset sizes in Table 2.
 
 import pytest
 
-from benchmarks.conftest import assert_no_disagreement
+from benchmarks.conftest import SaveFigure, assert_no_disagreement
 from repro.datagen.generator import generate_database
 from repro.experiments.datasets import (
     DEFAULT_SEED,
@@ -15,15 +15,16 @@ from repro.experiments.datasets import (
     dataset_params,
 )
 from repro.experiments.figures import table1_parameters, table2_datasets
+from pytest_benchmark.fixture import BenchmarkFixture
 
 
-def test_table1_parameters(benchmark, save_figure):
+def test_table1_parameters(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(table1_parameters, rounds=1, iterations=1)
     save_figure(figure)
     assert len(figure.rows) == 8
 
 
-def test_table2_datasets(benchmark, save_figure):
+def test_table2_datasets(benchmark: BenchmarkFixture, save_figure: SaveFigure) -> None:
     figure = benchmark.pedantic(table2_datasets, rounds=1, iterations=1)
     save_figure(figure)
     assert_no_disagreement(figure)
@@ -37,7 +38,7 @@ def test_table2_datasets(benchmark, save_figure):
 
 
 @pytest.mark.parametrize("dataset", PAPER_DATASETS)
-def test_generation_speed(benchmark, dataset):
+def test_generation_speed(benchmark: BenchmarkFixture, dataset: str) -> None:
     """Data generation cost per dataset (not a paper figure, but the
     substrate every experiment pays for)."""
     params = dataset_params(dataset, num_customers=bench_customers())

@@ -21,18 +21,24 @@ from __future__ import annotations
 
 import sys
 from pathlib import Path
+from typing import Callable
 
 import pytest
+
+from repro.experiments.figures import FigureResult
+
+#: The ``save_figure`` fixture's value: persist + print one figure.
+SaveFigure = Callable[[FigureResult], None]
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
-def save_figure():
+def save_figure() -> SaveFigure:
     """Persist and print a rendered FigureResult."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(figure) -> None:
+    def _save(figure: FigureResult) -> None:
         rendered = figure.render()
         (RESULTS_DIR / f"{figure.figure_id}.txt").write_text(
             rendered + "\n", encoding="utf-8"
@@ -42,7 +48,7 @@ def save_figure():
     return _save
 
 
-def assert_no_disagreement(figure) -> None:
+def assert_no_disagreement(figure: FigureResult) -> None:
     """Benches double as integration tests: algorithm disagreement fails."""
     problems = [note for note in figure.notes if "DISAGREEMENT" in note]
     assert not problems, problems

@@ -34,7 +34,7 @@ move between versions.
 """
 
 from repro.core.apriorisome import NextLengthPolicy
-from repro.core.miner import (
+from repro.miner import (
     ALGORITHM_NAMES,
     AlgorithmName,
     MiningParams,
@@ -78,6 +78,7 @@ __all__ = [
     "SyntheticParams",
     "Transaction",
     "UpdateOutcome",
+    "__version__",
     "format_sequence",
     "generate_database",
     "iter_customer_sequences",
@@ -88,5 +89,4 @@ __all__ = [
     "parse_sequence",
     "support_threshold",
     "update_mining",
-    "__version__",
 ]

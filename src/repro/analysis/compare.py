@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.core.miner import MiningResult, Pattern
+from repro.miner import MiningResult, Pattern
 from repro.core.sequence import Sequence
 
 

@@ -34,7 +34,7 @@ from collections import Counter
 from typing import Iterable
 
 from repro.core.maximal import maximal_sequences
-from repro.core.miner import Pattern
+from repro.miner import Pattern
 from repro.core.sequence import Sequence
 from repro.db.database import SequenceDatabase
 

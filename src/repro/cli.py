@@ -25,7 +25,7 @@ import sys
 from typing import Sequence as PySequence
 
 from repro.analysis.compare import pattern_length_histogram
-from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.miner import ALGORITHM_NAMES, MiningParams, MiningResult, mine
 from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database, iter_customer_sequences
 from repro.datagen.params import SyntheticParams
@@ -48,6 +48,19 @@ from repro.io.spmf import read_spmf, write_spmf
 #: Partition count when ``--partition-dir`` is given without an explicit
 #: ``--partitions`` or ``--max-memory-mb``.
 DEFAULT_PARTITIONS = 8
+
+
+def _fail(message: str) -> int:
+    """The single CLI failure path: one ``error:`` line on stderr, exit 1.
+
+    Command handlers never print errors or pick exit codes themselves —
+    they raise ``ValueError``/``OSError`` and :func:`main` routes the
+    message here. The ``cli-error-policy`` lint rule
+    (``python -m tools.lint --explain cli-error-policy``) enforces this
+    mechanically.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return 1
 
 
 def _load_database(path: str, fmt: str) -> SequenceDatabase:
@@ -112,7 +125,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_mine_database(args: argparse.Namespace):
+def _resolve_mine_database(
+    args: argparse.Namespace,
+) -> SequenceDatabase | PartitionedDatabase:
     """The database a ``mine`` invocation runs over, per the flag rules.
 
     Without ``--partition-dir`` this is the in-memory path and ``--input``
@@ -185,7 +200,7 @@ def _resolve_mine_database(args: argparse.Namespace):
     )
 
 
-def _emit_patterns(result, args: argparse.Namespace) -> None:
+def _emit_patterns(result: MiningResult, args: argparse.Namespace) -> None:
     """Shared pattern output of ``mine`` and ``update``: a file, JSON on
     stdout, or one human-readable line per pattern."""
     if args.output:
@@ -308,9 +323,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     builder = EXPERIMENTS.get(args.experiment_id)
     if builder is None:
-        print(f"unknown experiment {args.experiment_id!r}; use --list",
-              file=sys.stderr)
-        return 2
+        raise ValueError(
+            f"unknown experiment {args.experiment_id!r}; use --list"
+        )
     result = builder()
     print(result.render(chart=not args.no_chart))
     return 0
@@ -481,10 +496,9 @@ def main(argv: PySequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        return int(args.func(args))
     except (ValueError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return _fail(str(exc))
 
 
 if __name__ == "__main__":

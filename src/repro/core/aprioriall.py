@@ -16,12 +16,12 @@ import time
 from repro.core.candidates import apriori_generate
 from repro.core.counting import count_candidates, count_length2, filter_large
 from repro.core.phase import CountingOptions, SequencePhaseResult
+from repro.core.protocols import TransformedView
 from repro.core.stats import AlgorithmStats
-from repro.db.transform import TransformedDatabase
 
 
 def apriori_all(
-    tdb: TransformedDatabase,
+    tdb: TransformedView,
     threshold: int,
     *,
     counting: CountingOptions = CountingOptions(),

@@ -25,9 +25,9 @@ from repro.core.backward import backward_phase
 from repro.core.candidates import apriori_generate
 from repro.core.counting import count_candidates, count_length2, filter_large
 from repro.core.phase import CountingOptions, SequencePhaseResult
+from repro.core.protocols import TransformedView
 from repro.core.sequence import IdSequence
 from repro.core.stats import AlgorithmStats
-from repro.db.transform import TransformedDatabase
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,7 +73,7 @@ class NextLengthPolicy:
 
 
 def apriori_some(
-    tdb: TransformedDatabase,
+    tdb: TransformedView,
     threshold: int,
     *,
     counting: CountingOptions = CountingOptions(),

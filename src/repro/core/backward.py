@@ -30,12 +30,12 @@ from typing import Collection
 from repro.core.counting import CountableSequences, count_candidates, filter_large
 from repro.core.maximal import ContainmentIndex, SequenceExpander
 from repro.core.phase import CountingOptions, SequencePhaseResult
+from repro.core.protocols import TransformedView
 from repro.core.sequence import IdSequence
-from repro.db.transform import TransformedDatabase
 
 
 def backward_phase(
-    tdb: TransformedDatabase,
+    tdb: TransformedView,
     threshold: int,
     result: SequencePhaseResult,
     candidates_by_length: dict[int, Collection[IdSequence]],

@@ -40,7 +40,7 @@ invocations so tests can assert the once-per-run contract.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence as PySequence
+from typing import Iterator, KeysView, Sequence as PySequence, overload
 
 from repro.core.sequence import IdEventSeq, IdSequence
 
@@ -61,7 +61,7 @@ class CompiledSequence:
 
     __slots__ = ("masks", "num_events")
 
-    def __init__(self, masks: dict[int, int], num_events: int):
+    def __init__(self, masks: dict[int, int], num_events: int) -> None:
         self.masks = masks
         self.num_events = num_events
 
@@ -81,7 +81,7 @@ class CompiledSequence:
     def __setstate__(self, state: tuple[dict[int, int], int]) -> None:
         self.masks, self.num_events = state
 
-    def ids(self):
+    def ids(self) -> KeysView[int]:
         """All distinct ids occurring in the customer sequence."""
         return self.masks.keys()
 
@@ -175,7 +175,7 @@ class CompiledDatabase:
 
     __slots__ = ("customers",)
 
-    def __init__(self, customers: tuple[CompiledSequence, ...]):
+    def __init__(self, customers: tuple[CompiledSequence, ...]) -> None:
         self.customers = customers
 
     @classmethod
@@ -198,7 +198,15 @@ class CompiledDatabase:
     def __iter__(self) -> Iterator[CompiledSequence]:
         return iter(self.customers)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> CompiledSequence: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "CompiledDatabase": ...
+
+    def __getitem__(
+        self, index: int | slice
+    ) -> "CompiledSequence | CompiledDatabase":
         if isinstance(index, slice):
             return CompiledDatabase(self.customers[index])
         return self.customers[index]

@@ -21,9 +21,30 @@ Unlike the itemset join, sequence order matters, so there is no
 
 from __future__ import annotations
 
-from typing import Collection, Iterable
+from typing import Collection, Iterable, Literal, overload
 
 from repro.core.sequence import IdSequence
+
+#: ``candidate -> (joined sequence, extender)`` join parentage.
+Parentage = dict[IdSequence, tuple[IdSequence, IdSequence]]
+
+
+@overload
+def apriori_generate(
+    large_prev: Collection[IdSequence],
+    *,
+    prune_universe: Collection[IdSequence] | None = ...,
+    with_parents: Literal[False] = ...,
+) -> list[IdSequence]: ...
+
+
+@overload
+def apriori_generate(
+    large_prev: Collection[IdSequence],
+    *,
+    prune_universe: Collection[IdSequence] | None = ...,
+    with_parents: Literal[True],
+) -> tuple[list[IdSequence], Parentage]: ...
 
 
 def apriori_generate(
@@ -31,7 +52,7 @@ def apriori_generate(
     *,
     prune_universe: Collection[IdSequence] | None = None,
     with_parents: bool = False,
-):
+) -> list[IdSequence] | tuple[list[IdSequence], Parentage]:
     """Generate candidate k-sequences from (k−1)-sequences.
 
     ``prune_universe`` defaults to ``large_prev``. The result is sorted

@@ -53,7 +53,7 @@ in-process, no pool.
 
 from __future__ import annotations
 
-from typing import Collection, Literal, Mapping, Sequence as PySequence, Union
+from typing import Collection, Iterable, Union, cast
 
 from repro.core.bitset import CompiledDatabase, CompiledSequence, ensure_compiled
 from repro.core.hashtree import (
@@ -61,38 +61,51 @@ from repro.core.hashtree import (
     DEFAULT_LEAF_CAPACITY,
     SequenceHashTree,
 )
+
+# Canonical homes of the strategy alphabet and of the seam aliases are in
+# repro.core.protocols; re-exported here because the rest of the package
+# historically imports them from the counting module.
+from repro.core.protocols import (
+    COUNTING_STRATEGIES,
+    CandidateParents,
+    CountingStrategy,
+    PartitionedCountable,
+    SupportCounts,
+    TransformedSequence,
+    TransformedSequences,
+)
 from repro.core.sequence import IdSequence, OccurrenceIndex, id_sequence_contains
 from repro.core.vertical import (
     VerticalDatabase,
     count_candidates_vertical,
     ensure_vertical,
 )
-from repro.db.partitioned import PartitionedSequences
 
-CountingStrategy = Literal["hashtree", "naive", "bitset", "vertical"]
-
-COUNTING_STRATEGIES: tuple[CountingStrategy, ...] = (
-    "hashtree",
-    "naive",
-    "bitset",
-    "vertical",
-)
-
-TransformedSequences = PySequence[tuple[frozenset[int], ...]]
+__all__ = [
+    "COUNTING_STRATEGIES",
+    "CandidateParents",
+    "CountableSequences",
+    "CountingStrategy",
+    "SupportCounts",
+    "TransformedSequences",
+    "count_candidates",
+    "count_candidates_partitioned",
+    "count_length2",
+    "filter_large",
+]
 
 #: What every counting engine scans: raw transformed sequences, the
 #: bitset-compiled or vertical-inverted form of the same database, or the
 #: disk-backed partitioned form (counted one partition at a time).
+#: The partitioned member is the :class:`~repro.core.protocols.PartitionedCountable`
+#: *protocol*, not the concrete ``repro.db`` class — the counting layer
+#: dispatches structurally and never imports the storage layer.
 CountableSequences = Union[
     TransformedSequences,
     CompiledDatabase,
     VerticalDatabase,
-    PartitionedSequences,
+    PartitionedCountable,
 ]
-
-#: Join parentage for the candidate-driven vertical engine, as reported
-#: by ``apriori_generate(..., with_parents=True)``.
-CandidateParents = Mapping[IdSequence, tuple[IdSequence, IdSequence]]
 
 
 def _build_trees(
@@ -150,7 +163,7 @@ def count_candidates(
             branch_factor=branch_factor,
             parents=parents,
         )
-    if isinstance(sequences, PartitionedSequences):
+    if isinstance(sequences, PartitionedCountable):
         return count_candidates_partitioned(
             sequences,
             candidates,
@@ -210,7 +223,7 @@ def count_candidates(
 
 
 def count_candidates_partitioned(
-    sequences: PartitionedSequences,
+    sequences: PartitionedCountable,
     candidates: Collection[IdSequence],
     *,
     strategy: CountingStrategy = "hashtree",
@@ -243,7 +256,7 @@ def count_candidates_partitioned(
         return merge_counts(
             (
                 count_candidates_vertical(
-                    sequences.load_prepared(index, "vertical"),
+                    cast(VerticalDatabase, sequences.load_prepared(index, "vertical")),
                     counts,
                     parents=parents,
                 )
@@ -254,7 +267,8 @@ def count_candidates_partitioned(
     if strategy == "naive":
         candidate_list = list(counts)
         for index in indices:
-            for events in sequences.load_prepared(index, "naive"):
+            raw = cast(TransformedSequences, sequences.load_prepared(index, "naive"))
+            for events in raw:
                 for candidate in candidate_list:
                     if id_sequence_contains(candidate, events):
                         counts[candidate] += 1
@@ -263,7 +277,10 @@ def count_candidates_partitioned(
         raise ValueError(f"unknown counting strategy {strategy!r}")
     trees = _build_trees(counts, leaf_capacity, branch_factor)
     for index in indices:
-        part = sequences.load_prepared(index, strategy)
+        part = cast(
+            "Iterable[TransformedSequence | CompiledSequence]",
+            sequences.load_prepared(index, strategy),
+        )
         for events in part:
             index_or_compiled = (
                 events if isinstance(events, CompiledSequence)
@@ -319,13 +336,13 @@ def count_length2(
         return parallel_count_length2(
             sequences, workers=workers, chunk_size=chunk_size
         )
-    if isinstance(sequences, PartitionedSequences):
+    if isinstance(sequences, PartitionedCountable):
         # Out-of-core: run the fast path per partition (raw or compiled,
         # per the prepared strategy) and sum the sparse dicts.
         from repro.parallel.sharding import merge_counts
 
         return merge_counts(
-            count_length2(part)
+            count_length2(cast(CountableSequences, part))
             for part in sequences.iter_prepared(sequences.length2_form)
         )
     counts: dict[IdSequence, int] = {}

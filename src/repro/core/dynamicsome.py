@@ -22,10 +22,10 @@ is why DynamicSome loses badly at low minimum supports.
 from __future__ import annotations
 
 import time
-from typing import Collection, Sequence as PySequence
+from typing import Collection, Sequence as PySequence, cast
 
 from repro.core.backward import backward_phase
-from repro.core.bitset import CompiledDatabase
+from repro.core.bitset import CompiledDatabase, CompiledSequence
 from repro.core.candidates import apriori_generate
 from repro.core.counting import (
     CountableSequences,
@@ -35,6 +35,11 @@ from repro.core.counting import (
 )
 from repro.core.hashtree import SequenceHashTree
 from repro.core.phase import CountingOptions, SequencePhaseResult
+from repro.core.protocols import (
+    PartitionedCountable,
+    TransformedSequences,
+    TransformedView,
+)
 from repro.core.sequence import (
     IdSequence,
     OccurrenceIndex,
@@ -43,7 +48,6 @@ from repro.core.sequence import (
 )
 from repro.core.stats import AlgorithmStats
 from repro.core.vertical import VerticalDatabase, count_on_the_fly_vertical
-from repro.db.transform import TransformedDatabase
 
 
 def otf_generate(
@@ -75,7 +79,7 @@ def otf_generate(
 
 
 def dynamic_some(
-    tdb: TransformedDatabase,
+    tdb: TransformedView,
     threshold: int,
     *,
     step: int = 2,
@@ -258,21 +262,21 @@ def _count_on_the_fly(
     lists come from the vertical caches and each head/tail pair is
     joined list-against-list (see
     :func:`repro.core.vertical.count_on_the_fly_vertical`). A
-    disk-backed :class:`~repro.db.partitioned.PartitionedSequences` runs
-    this same pass one prepared partition at a time and sums the counts
-    (customer support is additive across disjoint partitions) — the
-    head/tail hash trees are built once and scan every partition.
+    disk-backed partitioned countable (structurally
+    :class:`~repro.core.protocols.PartitionedCountable`) runs this same
+    pass one prepared partition at a time and sums the counts (customer
+    support is additive across disjoint partitions) — the head/tail hash
+    trees are built once and scan every partition.
     """
-    from repro.db.partitioned import PartitionedSequences
-
     if isinstance(sequences, VerticalDatabase):
         return count_on_the_fly_vertical(sequences, large_k, large_step)
-    partitioned = isinstance(sequences, PartitionedSequences)
-    if partitioned and sequences.strategy == "vertical":
+    if isinstance(sequences, PartitionedCountable) and sequences.strategy == "vertical":
         from repro.parallel.sharding import merge_counts
 
         return merge_counts(
-            count_on_the_fly_vertical(part, large_k, large_step)
+            count_on_the_fly_vertical(
+                cast(VerticalDatabase, part), large_k, large_step
+            )
             for part in sequences.iter_prepared()
         )
     tree_k = SequenceHashTree(
@@ -286,44 +290,51 @@ def _count_on_the_fly(
         branch_factor=counting.branch_factor,
     )
     counts: dict[IdSequence, int] = {}
-    parts = sequences.iter_prepared() if partitioned else (sequences,)
-    for part in parts:
-        _scan_on_the_fly(part, tree_k, tree_step, counts)
+    if isinstance(sequences, PartitionedCountable):
+        for part in sequences.iter_prepared():
+            _scan_on_the_fly(
+                cast("TransformedSequences | CompiledDatabase", part),
+                tree_k,
+                tree_step,
+                counts,
+            )
+    else:
+        _scan_on_the_fly(sequences, tree_k, tree_step, counts)
     return counts
 
 
 def _scan_on_the_fly(
-    sequences,
+    sequences: TransformedSequences | CompiledDatabase,
     tree_k: SequenceHashTree,
     tree_step: SequenceHashTree,
     counts: dict[IdSequence, int],
 ) -> None:
     """Scan one database (or partition) for head/tail joins, adding each
     customer's generated candidates into ``counts``."""
-    compiled = isinstance(sequences, CompiledDatabase)
+    heads: list[tuple[IdSequence, int]]
+    tails: list[tuple[IdSequence, int]]
     for events in sequences:
-        if compiled:
-            index = events
+        if isinstance(events, CompiledSequence):
             heads = [
-                (head, events.earliest_end_index(head))
-                for head in tree_k.contained_in(index)
+                (head, cast(int, events.earliest_end_index(head)))
+                for head in tree_k.contained_in(events)
+            ]
+            if not heads:
+                continue
+            tails = [
+                (tail, cast(int, events.latest_start_index(tail)))
+                for tail in tree_step.contained_in(events)
             ]
         else:
             index = OccurrenceIndex(events)
             heads = [
-                (head, earliest_end_index(head, events))
+                (head, cast(int, earliest_end_index(head, events)))
                 for head in tree_k.contained_in(index)
             ]
-        if not heads:
-            continue
-        if compiled:
+            if not heads:
+                continue
             tails = [
-                (tail, events.latest_start_index(tail))
-                for tail in tree_step.contained_in(index)
-            ]
-        else:
-            tails = [
-                (tail, latest_start_index(tail, events))
+                (tail, cast(int, latest_start_index(tail, events)))
                 for tail in tree_step.contained_in(index)
             ]
         if not tails:

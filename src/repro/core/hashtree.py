@@ -65,7 +65,7 @@ class SequenceHashTree:
         *,
         leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
         branch_factor: int = DEFAULT_BRANCH_FACTOR,
-    ):
+    ) -> None:
         if leaf_capacity < 1:
             raise ValueError("leaf_capacity must be >= 1")
         if branch_factor < 2:

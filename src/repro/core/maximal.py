@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from repro.core.protocols import LitemsetCatalogLike
 from repro.core.sequence import IdSequence, Sequence, sequence_contains
-from repro.itemsets.litemsets import LitemsetCatalog
 
 #: A sequence expanded to bare events for containment checks.
 EventsTuple = tuple[frozenset[int], ...]
@@ -40,7 +40,7 @@ def sequence_of_events(events: EventsTuple) -> Sequence:
 class SequenceExpander:
     """Cached id-sequence → events expansion through a litemset catalog."""
 
-    def __init__(self, catalog: LitemsetCatalog):
+    def __init__(self, catalog: LitemsetCatalogLike) -> None:
         self._catalog = catalog
         self._cache: dict[IdSequence, EventsTuple] = {}
 

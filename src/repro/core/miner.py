@@ -1,59 +1,22 @@
-"""The five-phase mining pipeline (Section 3 of the paper).
+"""Compatibility shim: the pipeline now lives at :mod:`repro.miner`.
 
-This module is the public entry point of the library:
-
->>> from repro import SequenceDatabase, mine_sequential_patterns
->>> db = SequenceDatabase.from_sequences([
-...     [(30,), (90,)],
-...     [(10, 20), (30,), (40, 60, 70)],
-...     [(30, 50, 70)],
-...     [(30,), (40, 70), (90,)],
-...     [(90,)],
-... ])
->>> result = mine_sequential_patterns(db, minsup=0.25)
->>> [str(p.sequence) for p in result.patterns]
-['<(30)(90)>', '<(30)(40 70)>']
-
-The pipeline runs the paper's phases in order — sort (done by the
-database constructors), litemset, transformation, sequence, maximal — with
-the sequence phase delegating to AprioriAll, AprioriSome or DynamicSome
-per :class:`MiningParams`. All three algorithms yield the same patterns;
-they differ in how much counting work they do, which the attached
-:class:`~repro.core.stats.AlgorithmStats` records.
+The miner orchestrates *every* layer — it constructs databases, runs the
+litemset and transformation phases, and drives the sequence algorithms —
+so it was never really a ``core`` module; keeping it here forced the
+``core → db`` imports the layering rule (``python -m tools.lint``) now
+forbids. The module moved up to :mod:`repro.miner`; this shim re-exports
+its public names lazily (PEP 562) so existing ``repro.core.miner``
+imports keep working without making :mod:`repro.core` depend on the
+storage layer at import time.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Iterable, Literal
+from importlib import import_module
+from typing import Any
 
-if TYPE_CHECKING:
-    from repro.db.partitioned import PartitionedDatabase
-    from repro.incremental.state import MiningState
-
-from repro.core.aprioriall import apriori_all
-from repro.core.apriorisome import NextLengthPolicy, apriori_some
-from repro.core.dynamicsome import dynamic_some
-from repro.core.maximal import maximal_sequences, sequence_of_events
-from repro.core.phase import CountingOptions, SequencePhaseResult
-from repro.core.sequence import Sequence
-from repro.core.stats import AlgorithmStats, PhaseTimings
-from repro.db.database import SequenceDatabase
-from repro.db.records import Transaction
-from repro.db.transform import TransformedDatabase, transform_database
-from repro.itemsets.apriori import LitemsetResult, find_litemsets
-from repro.itemsets.litemsets import LitemsetCatalog
-
-AlgorithmName = Literal["aprioriall", "apriorisome", "dynamicsome"]
-
-ALGORITHM_NAMES: tuple[AlgorithmName, ...] = (
-    "aprioriall",
-    "apriorisome",
-    "dynamicsome",
-)
-
-__all__ = [
+#: Names forwarded to :mod:`repro.miner`.
+_FORWARDED = (
     "ALGORITHM_NAMES",
     "AlgorithmName",
     "MiningParams",
@@ -62,248 +25,18 @@ __all__ = [
     "mine",
     "mine_from_transactions",
     "mine_sequential_patterns",
-]
+)
+
+__all__ = list(_FORWARDED)
 
 
-@dataclass(frozen=True, slots=True)
-class MiningParams:
-    """Everything that configures one mining run."""
-
-    minsup: float
-    algorithm: AlgorithmName = "aprioriall"
-    counting: CountingOptions = CountingOptions()
-    next_policy: NextLengthPolicy = NextLengthPolicy()
-    dynamic_step: int = 2
-    max_pattern_length: int | None = None
-    max_litemset_size: int | None = None
-
-    def __post_init__(self) -> None:
-        if not 0.0 < self.minsup <= 1.0:
-            raise ValueError(f"minsup must be in (0, 1], got {self.minsup}")
-        if self.algorithm not in ALGORITHM_NAMES:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; "
-                f"expected one of {ALGORITHM_NAMES}"
-            )
-        if self.dynamic_step < 1:
-            raise ValueError("dynamic_step must be >= 1")
-
-    def with_(self, **changes) -> "MiningParams":
-        """A copy with the given fields replaced."""
-        return replace(self, **changes)
+def __getattr__(name: str) -> Any:
+    if name not in _FORWARDED:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module("repro.miner"), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
 
 
-@dataclass(frozen=True, slots=True)
-class Pattern:
-    """One maximal sequential pattern with its exact support."""
-
-    sequence: Sequence
-    count: int
-    support: float
-
-    def __str__(self) -> str:
-        return f"{self.sequence}  (support {self.support:.2%}, {self.count} customers)"
-
-
-@dataclass(slots=True)
-class MiningResult:
-    """The answer plus full instrumentation of one mining run."""
-
-    patterns: list[Pattern]
-    num_customers: int
-    threshold: int
-    params: MiningParams
-    timings: PhaseTimings
-    algorithm_stats: AlgorithmStats
-    litemset_result: LitemsetResult
-    large_counts_by_length: dict[int, int] = field(default_factory=dict)
-    #: Snapshot for the incremental subsystem; populated when the run
-    #: was asked to collect one (``mine(..., collect_state=True)``).
-    state: "MiningState | None" = None
-
-    @property
-    def num_patterns(self) -> int:
-        return len(self.patterns)
-
-    @property
-    def num_litemsets(self) -> int:
-        return len(self.litemset_result)
-
-    def sequences(self) -> list[Sequence]:
-        """Just the pattern sequences, in deterministic order."""
-        return [p.sequence for p in self.patterns]
-
-    def summary(self) -> str:
-        lengths = (
-            ", ".join(
-                f"L{length}={count}"
-                for length, count in sorted(self.large_counts_by_length.items())
-            )
-            or "none"
-        )
-        return (
-            f"{self.params.algorithm}: {self.num_patterns} maximal patterns "
-            f"(threshold {self.threshold}/{self.num_customers} customers, "
-            f"{self.num_litemsets} litemsets, large by length: {lengths}, "
-            f"{self.timings.total_seconds:.3f}s)"
-        )
-
-
-def _sequence_phase_runner(
-    params: MiningParams, collect_counts: bool
-) -> Callable[[TransformedDatabase, int], SequencePhaseResult]:
-    if params.algorithm == "aprioriall":
-        return lambda tdb, threshold: apriori_all(
-            tdb,
-            threshold,
-            counting=params.counting,
-            max_length=params.max_pattern_length,
-            collect_counts=collect_counts,
-        )
-    if params.algorithm == "apriorisome":
-        return lambda tdb, threshold: apriori_some(
-            tdb,
-            threshold,
-            counting=params.counting,
-            next_policy=params.next_policy,
-            max_length=params.max_pattern_length,
-            collect_counts=collect_counts,
-        )
-    return lambda tdb, threshold: dynamic_some(
-        tdb,
-        threshold,
-        step=params.dynamic_step,
-        counting=params.counting,
-        max_length=params.max_pattern_length,
-        collect_counts=collect_counts,
-    )
-
-
-def mine(
-    db: "SequenceDatabase | PartitionedDatabase",
-    params: MiningParams,
-    *,
-    sort_seconds: float = 0.0,
-    collect_state: bool = False,
-) -> MiningResult:
-    """Run phases 2–5 over an already-sorted database.
-
-    ``db`` is an in-memory :class:`~repro.db.database.SequenceDatabase`
-    or a disk-backed
-    :class:`~repro.db.partitioned.PartitionedDatabase`; with the latter
-    every phase streams partition by partition and peak memory stays at
-    one partition, not the database (see :mod:`repro.db.partitioned`).
-
-    With ``collect_state=True`` the result additionally carries a
-    :class:`~repro.incremental.state.MiningState` snapshot — the large
-    sets and the negative border with exact supports — which makes the
-    run updatable by :func:`repro.incremental.update.update_mining`
-    after the database grows (see :mod:`repro.incremental`).
-    """
-    threshold = db.threshold(params.minsup)
-
-    started = time.perf_counter()
-    litemset_result = find_litemsets(
-        db, params.minsup, max_length=params.max_litemset_size
-    )
-    litemset_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    catalog = LitemsetCatalog.from_result(litemset_result)
-    tdb = transform_database(db, catalog)
-    transform_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    phase_result = _sequence_phase_runner(params, collect_state)(tdb, threshold)
-    sequence_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    all_large = phase_result.all_large()
-    expanded = {
-        catalog.expand_events(id_sequence): count
-        for id_sequence, count in all_large.items()
-    }
-    maximal = maximal_sequences(expanded)
-    patterns = sorted(
-        (
-            Pattern(
-                sequence=sequence_of_events(events),
-                count=count,
-                support=count / db.num_customers if db.num_customers else 0.0,
-            )
-            for events, count in maximal.items()
-        ),
-        key=lambda p: p.sequence.sort_key(),
-    )
-    maximal_seconds = time.perf_counter() - started
-
-    state = None
-    if collect_state:
-        # Imported lazily: the incremental package's public surface
-        # imports this module back.
-        from repro.incremental.state import build_mining_state
-
-        state = build_mining_state(
-            minsup=params.minsup,
-            algorithm=params.algorithm,
-            strategy=params.counting.strategy,
-            num_customers=db.num_customers,
-            generation=getattr(db, "generation", 0),
-            litemset_result=litemset_result,
-            catalog=catalog,
-            phase_result=phase_result,
-            max_pattern_length=params.max_pattern_length,
-            max_litemset_size=params.max_litemset_size,
-        )
-
-    return MiningResult(
-        patterns=patterns,
-        num_customers=db.num_customers,
-        threshold=threshold,
-        params=params,
-        timings=PhaseTimings(
-            sort_seconds=sort_seconds,
-            litemset_seconds=litemset_seconds,
-            transform_seconds=transform_seconds,
-            sequence_seconds=sequence_seconds,
-            maximal_seconds=maximal_seconds,
-        ),
-        algorithm_stats=phase_result.stats,
-        litemset_result=litemset_result,
-        large_counts_by_length={
-            length: len(large)
-            for length, large in sorted(phase_result.large_by_length.items())
-        },
-        state=state,
-    )
-
-
-def mine_from_transactions(
-    transactions: Iterable[Transaction], params: MiningParams
-) -> MiningResult:
-    """Run all five phases, starting from raw (unsorted) records."""
-    started = time.perf_counter()
-    db = SequenceDatabase.from_transactions(transactions)
-    sort_seconds = time.perf_counter() - started
-    return mine(db, params, sort_seconds=sort_seconds)
-
-
-def mine_sequential_patterns(
-    db: "SequenceDatabase | PartitionedDatabase",
-    minsup: float,
-    *,
-    algorithm: AlgorithmName = "aprioriall",
-    collect_state: bool = False,
-    **kwargs,
-) -> MiningResult:
-    """Convenience wrapper: mine ``db`` at ``minsup`` with one algorithm.
-
-    ``db`` may be in-memory or partitioned, as in :func:`mine` —
-    including ``collect_state`` for an updatable result. Extra keyword
-    arguments are forwarded to :class:`MiningParams`.
-    """
-    return mine(
-        db,
-        MiningParams(minsup=minsup, algorithm=algorithm, **kwargs),
-        collect_state=collect_state,
-    )
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_FORWARDED))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from typing import Collection, Mapping
+from typing import Any, Collection, Mapping
 
 from repro.core.counting import (
     COUNTING_STRATEGIES,
@@ -22,6 +22,7 @@ from repro.core.counting import (
     TransformedSequences,
 )
 from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
+from repro.core.protocols import PartitionedCountable
 from repro.core.sequence import IdSequence
 from repro.core.stats import AlgorithmStats
 from repro.core.vertical import VerticalDatabase, ensure_vertical
@@ -66,7 +67,7 @@ class CountingOptions:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
     def prepare_sequences(
-        self, sequences: TransformedSequences
+        self, sequences: TransformedSequences | PartitionedCountable
     ) -> CountableSequences:
         """The per-run database form every counting pass should scan.
 
@@ -80,16 +81,16 @@ class CountingOptions:
         cross-pass support-list cache for the whole run. The other
         strategies scan the raw sequences unchanged.
 
-        A disk-backed :class:`~repro.db.partitioned.PartitionedSequences`
+        A disk-backed partitioned countable (structurally, anything
+        satisfying :class:`~repro.core.protocols.PartitionedCountable` —
+        concretely :class:`~repro.db.partitioned.PartitionedSequences`)
         prepares *itself*: under bitset/vertical it compiles each
         partition once and caches the compiled form on disk, so later
         passes (and worker processes) deserialize instead of recompiling;
         it is returned unchanged and the counting layer streams it one
         partition at a time.
         """
-        from repro.db.partitioned import PartitionedSequences
-
-        if isinstance(sequences, PartitionedSequences):
+        if isinstance(sequences, PartitionedCountable):
             return sequences.prepare(self.strategy)
         if self.strategy == "bitset":
             from repro.core.bitset import ensure_compiled
@@ -115,7 +116,7 @@ class CountingOptions:
         if isinstance(sequences, VerticalDatabase):
             sequences.cache.retain_surviving(large)
 
-    def kwargs(self) -> dict:
+    def kwargs(self) -> dict[str, Any]:
         """Keyword arguments for :func:`repro.core.counting.count_candidates`."""
         return {
             "strategy": self.strategy,
@@ -125,7 +126,7 @@ class CountingOptions:
             "chunk_size": self.chunk_size,
         }
 
-    def sharding_kwargs(self) -> dict:
+    def sharding_kwargs(self) -> dict[str, Any]:
         """Keyword arguments for passes that only shard (no strategy knobs),
         like :func:`repro.core.counting.count_length2`."""
         return {"workers": self.workers, "chunk_size": self.chunk_size}
@@ -136,7 +137,7 @@ class SequencePhaseResult:
     """Large sequences by length, with supports, plus run counters.
 
     With ``collect_counts`` enabled (the algorithms take it as a
-    keyword; :func:`repro.core.miner.mine` sets it for
+    keyword; :func:`repro.miner.mine` sets it for
     ``collect_state=True`` runs), ``counted_by_length`` retains every
     counting pass's full result — the large sequences *and* the
     negative border (candidates counted but below threshold), with

@@ -1,0 +1,313 @@
+"""Formal :class:`typing.Protocol` contracts for the load-bearing seams.
+
+The package composes three algorithms × four counting strategies × two
+storage paths × serial/parallel/incremental by *duck typing*: the
+partitioned database drops in wherever the in-memory one is accepted,
+the compiled bitmask customer drops in wherever a per-pass occurrence
+index is accepted, and the out-of-core countable drops in wherever a
+transformed sequence list is accepted. Until this module those contracts
+were informal — documented in docstrings, enforced only by the test
+matrix. Here they are stated as structural :class:`~typing.Protocol`
+types, so ``mypy --strict`` verifies every existing implementation and
+every future one (a PrefixSpan engine, a vectorized kernel, a serving
+snapshot) against the same written-down surface.
+
+Layering: this module is a dependency **leaf**. It imports nothing from
+:mod:`repro`, which is what lets :mod:`repro.core.sequence` re-export
+its aliases and lets the counting layer dispatch on
+:class:`PartitionedCountable` without the ``core → db`` import that PR 5
+had to lazy-import around. Static conformance of the concrete classes is
+asserted in :mod:`repro._typecheck` (a type-checking-only module, so the
+protocols never force runtime ``isinstance`` machinery on the hot path —
+:class:`PartitionedCountable` alone is ``runtime_checkable`` because the
+counting engines dispatch on it once per pass).
+
+The invariants types cannot express — import-time layering itself,
+``__all__`` consistency, determinism of the core — are enforced by the
+companion AST linter, ``python -m tools.lint``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Collection,
+    Iterable,
+    Iterator,
+    Literal,
+    Mapping,
+    Protocol,
+    Sequence as PySequence,
+    Union,
+    runtime_checkable,
+)
+
+__all__ = [
+    "COUNTING_STRATEGIES",
+    "CandidateParents",
+    "Countable",
+    "CountingEngine",
+    "CountingStrategy",
+    "CustomerRecord",
+    "IdEventSeq",
+    "IdSequence",
+    "Item",
+    "Itemset",
+    "LitemsetCatalogLike",
+    "OccurrenceProbe",
+    "PartitionedCountable",
+    "SequenceDatabaseLike",
+    "SupportCounts",
+    "TransformedSequence",
+    "TransformedSequences",
+    "TransformedView",
+]
+
+# --------------------------------------------------------------------- #
+# Value aliases (canonical home; repro.core.sequence re-exports them)
+# --------------------------------------------------------------------- #
+
+Item = int
+#: A canonical itemset: strictly increasing tuple of item ids.
+Itemset = tuple[Item, ...]
+#: A transformed customer sequence: one ``frozenset`` of litemset ids per
+#: transaction, in transaction-time order.
+IdEventSeq = PySequence[frozenset[int]]
+#: A candidate/large sequence over the litemset-id alphabet.
+IdSequence = tuple[int, ...]
+#: One transformed customer sequence in its stored (tuple) form.
+TransformedSequence = tuple[frozenset[int], ...]
+#: A whole transformed database as plain Python data.
+TransformedSequences = PySequence[TransformedSequence]
+
+#: The name of a support-counting backend (see :mod:`repro.core.counting`).
+CountingStrategy = Literal["hashtree", "naive", "bitset", "vertical"]
+
+COUNTING_STRATEGIES: tuple[CountingStrategy, ...] = (
+    "hashtree",
+    "naive",
+    "bitset",
+    "vertical",
+)
+
+#: One counting pass's result: a support count for every candidate.
+SupportCounts = dict[IdSequence, int]
+
+#: Join parentage for the candidate-driven vertical engine, as reported
+#: by ``apriori_generate(..., with_parents=True)``.
+CandidateParents = Mapping[IdSequence, tuple[IdSequence, IdSequence]]
+
+
+# --------------------------------------------------------------------- #
+# The per-customer probe surface
+# --------------------------------------------------------------------- #
+
+
+class OccurrenceProbe(Protocol):
+    """The per-customer probe interface the sequence hash tree traverses.
+
+    Implemented by :class:`repro.core.sequence.OccurrenceIndex` (position
+    lists, built per pass) and by
+    :class:`repro.core.bitset.CompiledSequence` (occurrence bitmasks,
+    compiled once per mining run).
+    """
+
+    def ids(self) -> Iterable[int]:
+        """All distinct litemset ids occurring in the customer sequence."""
+        ...
+
+    def first_after(self, litemset_id: int, after: int) -> int | None:
+        """Earliest event index strictly greater than ``after`` containing
+        ``litemset_id``, or ``None``."""
+        ...
+
+
+# --------------------------------------------------------------------- #
+# The database surface (sort-phase output)
+# --------------------------------------------------------------------- #
+
+
+class CustomerRecord(Protocol):
+    """One customer's ordered transaction history.
+
+    Satisfied by :class:`repro.db.database.CustomerSequence`; every phase
+    that scans a database consumes exactly this much of it.
+    """
+
+    @property
+    def customer_id(self) -> int: ...
+
+    @property
+    def events(self) -> tuple[Itemset, ...]: ...
+
+
+class SequenceDatabaseLike(Protocol):
+    """What the litemset phase and the mining pipeline need of a database.
+
+    Satisfied by the in-memory :class:`repro.db.database.SequenceDatabase`
+    and the disk-backed :class:`repro.db.partitioned.PartitionedDatabase`;
+    any future storage path (sharded, remote, ...) that provides this
+    surface mines unchanged. Iteration yields customers in ascending
+    ``customer_id`` order; ``num_customers`` is the support denominator.
+    Implementations may additionally offer ``iter_unordered()`` — a
+    cheaper stream for order-independent scans — which callers discover
+    with ``getattr``.
+    """
+
+    @property
+    def num_customers(self) -> int: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[CustomerRecord]: ...
+
+    def threshold(self, minsup: float) -> int:
+        """Integer customer-count threshold for fractional ``minsup``."""
+        ...
+
+
+# --------------------------------------------------------------------- #
+# The transformed-database surface (what the sequence phase consumes)
+# --------------------------------------------------------------------- #
+
+
+class LitemsetCatalogLike(Protocol):
+    """The catalog surface the sequence phase needs (id alphabet only).
+
+    Satisfied by :class:`repro.itemsets.litemsets.LitemsetCatalog`. The
+    sequence phase never maps ids back to raw items itself — it needs the
+    free ``L_1`` supports and the id → event expansion used by the
+    containment-aware backward/maximal phases, and the transformation
+    phase needs the per-transaction contained-litemset lookup.
+    """
+
+    def one_sequence_supports(self) -> dict[IdSequence, int]:
+        """Supports of all large 1-sequences over the id alphabet."""
+        ...
+
+    def contained_ids(self, transaction: Iterable[int]) -> frozenset[int]:
+        """Ids of every litemset contained in ``transaction``."""
+        ...
+
+    def expand_events(self, id_sequence: IdSequence) -> TransformedSequence:
+        """Inflate an id sequence to bare frozenset events."""
+        ...
+
+
+@runtime_checkable
+class PartitionedCountable(Protocol):
+    """The out-of-core countable: a transformed database in K partitions.
+
+    Satisfied by :class:`repro.db.partitioned.PartitionedSequences`. The
+    counting engines (:mod:`repro.core.counting`) dispatch on this
+    protocol — the single ``runtime_checkable`` one, checked once per
+    pass — and then stream ``load_prepared`` partition by partition,
+    which is what keeps a pass's peak memory at one partition. The
+    ``prepare``/``load_prepared`` pair is the out-of-core analogue of the
+    once-per-run compile contract: ``prepare(strategy)`` may build disk
+    caches, and every later ``load_prepared`` must be a cheap load, not a
+    recompute.
+    """
+
+    strategy: CountingStrategy
+
+    @property
+    def num_partitions(self) -> int: ...
+
+    @property
+    def length2_form(self) -> CountingStrategy:
+        """Prepared form the length-2 occurring-pairs sweep should load."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[TransformedSequence]: ...
+
+    def prepare(self, strategy: CountingStrategy) -> "PartitionedCountable":
+        """Record the run's strategy; build any per-partition caches."""
+        ...
+
+    def load_prepared(
+        self, index: int, strategy: CountingStrategy | None = None
+    ) -> object:
+        """One partition in the active strategy's countable form."""
+        ...
+
+    def iter_prepared(
+        self, strategy: CountingStrategy | None = None
+    ) -> Iterator[object]:
+        """Every partition in prepared form, one at a time."""
+        ...
+
+
+#: Everything a counting engine accepts as its database argument: the raw
+#: transformed sequences, a once-per-run prepared form (the bitset
+#: compile or its vertical inversion — structurally, anything iterable
+#: over per-customer probes), or the disk-backed partitioned countable.
+#: :data:`repro.core.counting.CountableSequences` is the concrete-class
+#: twin of this alias, used where ``isinstance`` dispatch needs real
+#: classes.
+Countable = Union[TransformedSequences, Iterable[OccurrenceProbe], PartitionedCountable]
+
+
+class TransformedView(Protocol):
+    """The transformed database DT as the sequence phase sees it.
+
+    Satisfied by :class:`repro.db.transform.TransformedDatabase`
+    (in-memory) and
+    :class:`repro.db.partitioned.PartitionedTransformedDatabase`
+    (disk-backed). ``num_customers`` is the *original* customer count —
+    the support denominator — not the count of surviving sequences.
+    """
+
+    @property
+    def sequences(self) -> Union[TransformedSequences, PartitionedCountable]: ...
+
+    @property
+    def num_customers(self) -> int: ...
+
+    @property
+    def max_sequence_length(self) -> int:
+        """Longest transformed customer sequence (bounds pattern length)."""
+        ...
+
+    @property
+    def catalog(self) -> LitemsetCatalogLike: ...
+
+
+# --------------------------------------------------------------------- #
+# The counting-engine surface
+# --------------------------------------------------------------------- #
+
+
+class CountingEngine(Protocol):
+    """The signature of one support-counting pass.
+
+    :func:`repro.core.counting.count_candidates` is the canonical
+    implementation; the sharded-parallel executor conforms as well
+    (keyword-compatible, summing per-shard counts). The contract every
+    implementation must honor: the result holds a count for **every**
+    candidate (zero included), a customer contributes at most 1 per
+    candidate, and counts are identical for every strategy/worker
+    setting.
+    """
+
+    def __call__(
+        self,
+        sequences: Countable,
+        candidates: Collection[IdSequence],
+        *,
+        strategy: CountingStrategy = ...,
+        leaf_capacity: int = ...,
+        branch_factor: int = ...,
+        workers: int = ...,
+        chunk_size: int | None = ...,
+        parents: CandidateParents | None = ...,
+    ) -> SupportCounts: ...
+
+
+if TYPE_CHECKING:
+    # Static conformance of the concrete implementations is asserted in
+    # repro._typecheck (which may import every layer; this module may
+    # not). The name is referenced here so readers find it.
+    pass

@@ -28,16 +28,38 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_right
-from typing import Iterable, Iterator, Protocol, Sequence as PySequence
+from typing import Iterable, Iterator, Sequence as PySequence
 
-Item = int
-#: A canonical itemset: strictly increasing tuple of item ids.
-Itemset = tuple[Item, ...]
-#: A transformed customer sequence: one ``frozenset`` of litemset ids per
-#: transaction, in transaction-time order.
-IdEventSeq = PySequence[frozenset[int]]
-#: A candidate/large sequence over the litemset-id alphabet.
-IdSequence = tuple[int, ...]
+# Canonical homes of the value aliases and of the probe protocol are in
+# repro.core.protocols (the dependency leaf); re-exported here because
+# this module is where the rest of the package historically imports them.
+from repro.core.protocols import (
+    IdEventSeq,
+    IdSequence,
+    Item,
+    Itemset,
+    OccurrenceProbe,
+)
+
+__all__ = [
+    "IdEventSeq",
+    "IdSequence",
+    "Item",
+    "Itemset",
+    "OccurrenceIndex",
+    "OccurrenceProbe",
+    "Sequence",
+    "SequenceFormatError",
+    "earliest_end_index",
+    "format_sequence",
+    "id_sequence_contains",
+    "is_proper_subsequence",
+    "itemset_contains",
+    "latest_start_index",
+    "make_itemset",
+    "parse_sequence",
+    "sequence_contains",
+]
 
 _EVENT_RE = re.compile(r"\(([^()]*)\)")
 
@@ -78,7 +100,7 @@ class Sequence:
 
     __slots__ = ("_events", "_hash", "_frozen")
 
-    def __init__(self, events: Iterable[Iterable[Item]]):
+    def __init__(self, events: Iterable[Iterable[Item]]) -> None:
         self._events: tuple[Itemset, ...] = tuple(make_itemset(e) for e in events)
         if not self._events:
             raise ValueError("a sequence must contain at least one event")
@@ -141,7 +163,7 @@ class Sequence:
         events = self._events[:index] + self._events[index + 1 :]
         return Sequence(events)
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[int, tuple[Itemset, ...]]:
         """Deterministic ordering key: by length, then lexicographic."""
         return (len(self._events), self._events)
 
@@ -264,19 +286,6 @@ def latest_start_index(pattern: IdSequence, events: IdEventSeq) -> int | None:
     return start
 
 
-class OccurrenceProbe(Protocol):
-    """The per-customer probe interface the sequence hash tree traverses.
-
-    Implemented by :class:`OccurrenceIndex` (position lists, built per
-    pass) and by :class:`repro.core.bitset.CompiledSequence` (occurrence
-    bitmasks, compiled once per mining run).
-    """
-
-    def ids(self) -> Iterable[int]: ...
-
-    def first_after(self, litemset_id: int, after: int) -> int | None: ...
-
-
 class OccurrenceIndex:
     """Per-customer index of id occurrences for fast prefix matching.
 
@@ -288,7 +297,7 @@ class OccurrenceIndex:
 
     __slots__ = ("positions", "num_events")
 
-    def __init__(self, events: IdEventSeq):
+    def __init__(self, events: IdEventSeq) -> None:
         positions: dict[int, list[int]] = {}
         for index, event in enumerate(events):
             for litemset_id in event:

@@ -43,11 +43,11 @@ tests can assert the once-per-mining-run inversion contract, mirroring
 
 from __future__ import annotations
 
-from typing import Collection, Mapping
+from typing import Collection, Mapping, Sequence as PySequence
 
 from repro.core.bitset import CompiledDatabase, ensure_compiled
 from repro.core.candidates import join_parents
-from repro.core.sequence import IdSequence
+from repro.core.sequence import IdEventSeq, IdSequence
 
 #: Number of :meth:`VerticalDatabase.invert` calls since import — a test
 #: hook for the once-per-mining-run inversion contract. Never reset by
@@ -64,6 +64,17 @@ MaskList = dict[int, int]
 
 #: Shared empty mask list for ids that occur nowhere. Never mutated.
 _EMPTY_MASKS: MaskList = {}
+
+#: Pickled form of :class:`VerticalDatabase` (``__slots__`` state plus the
+#: memoized support/tail lists so workers inherit warm caches).
+_VerticalState = tuple[
+    dict[int, MaskList],
+    tuple[int, ...],
+    CompiledDatabase,
+    dict[IdSequence, SupportList],
+    int,
+    dict[IdSequence, SupportList],
+]
 
 
 def temporal_join(prefix_list: SupportList, id_masks: MaskList) -> SupportList:
@@ -128,7 +139,7 @@ class SupportLists:
 
     __slots__ = ("_vdb", "_lists", "joins")
 
-    def __init__(self, vdb: "VerticalDatabase"):
+    def __init__(self, vdb: "VerticalDatabase") -> None:
         self._vdb = vdb
         self._lists: dict[IdSequence, SupportList] = {}
         self.joins = 0
@@ -254,7 +265,7 @@ class VerticalDatabase:
         id_lists: dict[int, MaskList],
         event_counts: tuple[int, ...],
         compiled: CompiledDatabase,
-    ):
+    ) -> None:
         self.id_lists = id_lists
         self.event_counts = event_counts
         self.compiled = compiled
@@ -278,7 +289,7 @@ class VerticalDatabase:
     def __len__(self) -> int:
         return len(self.event_counts)
 
-    def __getstate__(self):
+    def __getstate__(self) -> _VerticalState:
         return (
             self.id_lists,
             self.event_counts,
@@ -288,7 +299,7 @@ class VerticalDatabase:
             self._tail_lists,
         )
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: _VerticalState) -> None:
         (
             self.id_lists,
             self.event_counts,
@@ -342,7 +353,9 @@ class VerticalDatabase:
         return lst
 
 
-def ensure_vertical(sequences) -> VerticalDatabase:
+def ensure_vertical(
+    sequences: "PySequence[IdEventSeq] | CompiledDatabase | VerticalDatabase",
+) -> VerticalDatabase:
     """Pass through an already-inverted database; invert anything else
     (compiling raw transformed sequences first if necessary)."""
     if isinstance(sequences, VerticalDatabase):

@@ -35,7 +35,7 @@ from repro.db.records import Transaction
 class _WeightedPicker:
     """O(log n) weighted index picking via a cumulative table."""
 
-    def __init__(self, probs: np.ndarray):
+    def __init__(self, probs: np.ndarray) -> None:
         self._cumulative = np.cumsum(probs)
         # Guard against floating point drift at the top end.
         self._cumulative[-1] = 1.0

@@ -109,7 +109,7 @@ class SyntheticParams:
         )
 
     @classmethod
-    def from_name(cls, name: str, **overrides) -> "SyntheticParams":
+    def from_name(cls, name: str, **overrides: float | int) -> "SyntheticParams":
         """Parse a paper-style dataset name; other knobs via overrides."""
         match = _NAME_RE.match(name.strip())
         if match is None:
@@ -140,6 +140,6 @@ class SyntheticParams:
             raise ValueError("factor must be > 0")
         return replace(self, num_customers=max(1, round(self.num_customers * factor)))
 
-    def with_(self, **changes) -> "SyntheticParams":
+    def with_(self, **changes: float | int) -> "SyntheticParams":
         """A copy with the given fields replaced."""
         return replace(self, **changes)

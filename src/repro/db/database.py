@@ -117,7 +117,7 @@ def support_threshold(minsup: float, num_customers: int) -> int:
 class SequenceDatabase:
     """A database of customer sequences (output of the sort phase)."""
 
-    def __init__(self, customers: Iterable[CustomerSequence]):
+    def __init__(self, customers: Iterable[CustomerSequence]) -> None:
         ordered = sorted(customers, key=lambda c: c.customer_id)
         ids = [c.customer_id for c in ordered]
         if len(set(ids)) != len(ids):

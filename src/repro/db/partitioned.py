@@ -56,7 +56,10 @@ import pickle
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
+
+from repro.core.protocols import CountingStrategy, LitemsetCatalogLike
+from repro.core.sequence import Sequence
 
 from repro.db.database import (
     CustomerSequence,
@@ -150,7 +153,7 @@ class PartitionedDatabase:
     one record per partition (for ordered iteration).
     """
 
-    def __init__(self, directory: str | Path, manifest: dict):
+    def __init__(self, directory: str | Path, manifest: dict[str, Any]) -> None:
         self.directory = Path(directory)
         self._manifest = manifest
         self.partition_paths = [
@@ -446,13 +449,13 @@ class PartitionedDatabase:
                 vocabulary.update(event)
         return frozenset(vocabulary)
 
-    def support_count(self, pattern) -> int:
+    def support_count(self, pattern: Sequence) -> int:
         """Direct streaming support count (verification/reporting path)."""
         return sum(
             1 for customer in self.iter_unordered() if customer.contains(pattern)
         )
 
-    def support(self, pattern) -> float:
+    def support(self, pattern: Sequence) -> float:
         if not self.num_customers:
             return 0.0
         return self.support_count(pattern) / self.num_customers
@@ -666,7 +669,9 @@ class PartitionedDatabase:
     # Transformation phase (streamed, partition by partition)
     # ------------------------------------------------------------------ #
 
-    def transform(self, catalog) -> "PartitionedTransformedDatabase":
+    def transform(
+        self, catalog: LitemsetCatalogLike
+    ) -> "PartitionedTransformedDatabase":
         """The transformation phase, streamed: raw partition in,
         transformed binlog partition out (litemset-id events, empty
         transactions dropped, empty customers dropped). Mirrors
@@ -827,10 +832,10 @@ class PartitionedSequences:
     database and open partition files themselves.
     """
 
-    def __init__(self, paths: list[Path], counts: list[int]):
+    def __init__(self, paths: list[Path], counts: list[int]) -> None:
         self.paths = [Path(p) for p in paths]
         self.counts = list(counts)
-        self.strategy: str = "hashtree"
+        self.strategy: CountingStrategy = "hashtree"
 
     @property
     def num_partitions(self) -> int:
@@ -856,14 +861,14 @@ class PartitionedSequences:
         return self.paths[index].with_name(compiled_cache_name(index))
 
     @property
-    def length2_form(self) -> str:
+    def length2_form(self) -> CountingStrategy:
         """Which prepared form the length-2 occurring-pairs sweep loads:
         the compiled partition when the run's strategy keeps a compile
         cache, the raw partition otherwise. Lives here so serial and
         parallel length-2 counting cannot drift apart."""
         return "bitset" if self.strategy in ("bitset", "vertical") else "hashtree"
 
-    def prepare(self, strategy: str) -> "PartitionedSequences":
+    def prepare(self, strategy: CountingStrategy) -> "PartitionedSequences":
         """Record the run's strategy; build the on-disk compile cache.
 
         For ``bitset`` and ``vertical`` every partition is compiled into
@@ -887,7 +892,9 @@ class PartitionedSequences:
                     pickle.dump(compiled, handle, protocol=pickle.HIGHEST_PROTOCOL)
         return self
 
-    def load_prepared(self, index: int, strategy: str | None = None):
+    def load_prepared(
+        self, index: int, strategy: CountingStrategy | None = None
+    ) -> object:
         """One partition in the active strategy's countable form.
 
         The caller owns the returned object and drops it after the
@@ -912,7 +919,9 @@ class PartitionedSequences:
             return compiled
         return list(self.iter_partition(index))
 
-    def iter_prepared(self, strategy: str | None = None):
+    def iter_prepared(
+        self, strategy: CountingStrategy | None = None
+    ) -> Iterator[object]:
         """Yield every partition in prepared form, one at a time."""
         for index in range(self.num_partitions):
             yield self.load_prepared(index, strategy)
@@ -932,7 +941,7 @@ class PartitionedTransformedDatabase:
     sequences: PartitionedSequences
     num_customers: int
     num_transformed: int
-    catalog: object
+    catalog: LitemsetCatalogLike
     max_sequence_length: int
 
     def __len__(self) -> int:

@@ -16,7 +16,7 @@ from typing import Callable, Mapping, Sequence as PySequence
 from repro.analysis.compare import pattern_length_histogram
 from repro.analysis.report import format_series_chart, format_table
 from repro.core.apriorisome import NextLengthPolicy
-from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.miner import ALGORITHM_NAMES, MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.datagen.params import SyntheticParams
 from repro.experiments.datasets import (

@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.miner import MiningParams, MiningResult, mine
+from repro.miner import MiningParams, MiningResult, mine
 from repro.db.database import SequenceDatabase
 
 
@@ -62,7 +62,7 @@ def run_mining(
     dataset: str,
     algorithm: str,
     minsup: float,
-    **param_overrides,
+    **param_overrides: object,
 ) -> tuple[RunRecord, MiningResult]:
     """Mine once and package the measurement."""
     params = MiningParams(minsup=minsup, algorithm=algorithm, **param_overrides)

@@ -46,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence as PySequence
 
-from repro.core.miner import Pattern
+from repro.miner import Pattern
 from repro.core.sequence import Itemset, Sequence
 from repro.db.database import support_threshold
 from repro.db.records import Transaction, merge_transactions
@@ -163,7 +163,7 @@ class CompiledTimedSequence:
         times: tuple[int, ...],
         item_masks: dict[int, int],
         events: TimedEvents,
-    ):
+    ) -> None:
         self.times = times
         self.item_masks = item_masks
         self.events = events
@@ -177,10 +177,12 @@ class CompiledTimedSequence:
                 item_masks[item] = item_masks.get(item, 0) | bit
         return cls(tuple(t for t, _ in events), item_masks, events)
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[tuple[int, ...], dict[int, int], TimedEvents]:
         return (self.times, self.item_masks, self.events)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(
+        self, state: tuple[tuple[int, ...], dict[int, int], TimedEvents]
+    ) -> None:
         self.times, self.item_masks, self.events = state
 
     def element_windows(

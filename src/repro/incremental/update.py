@@ -57,10 +57,15 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence as PySequence
 
 from repro.core.candidates import apriori_generate
-from repro.core.counting import count_candidates, count_length2, filter_large
+from repro.core.counting import (
+    CountableSequences,
+    count_candidates,
+    count_length2,
+    filter_large,
+)
 from repro.core.hashtree import SequenceHashTree
 from repro.core.maximal import maximal_sequences, sequence_of_events
-from repro.core.miner import MiningParams, MiningResult, Pattern
+from repro.miner import MiningParams, MiningResult, Pattern
 from repro.core.phase import CountingOptions, SequencePhaseResult
 from repro.core.sequence import IdSequence, OccurrenceIndex
 from repro.core.stats import AlgorithmStats, PhaseTimings
@@ -125,7 +130,7 @@ def update_mining(
     database (``ValueError`` otherwise). ``counting`` configures the
     delta counting passes — strategy and workers — independently of
     what the snapshot run used. Returns the updated
-    :class:`~repro.core.miner.MiningResult` (identical patterns and
+    :class:`~repro.miner.MiningResult` (identical patterns and
     supports to a full re-mine), the successor snapshot covering the
     grown database, and work statistics.
     """
@@ -460,8 +465,8 @@ def _update_length2(
     state: MiningState,
     catalog: LitemsetCatalog,
     old_ids: frozenset[int],
-    pos_prepared,
-    neg_prepared,
+    pos_prepared: CountableSequences | None,
+    neg_prepared: CountableSequences | None,
     counting: CountingOptions,
     stats: UpdateStats,
 ) -> tuple[dict[IdSequence, int], int, int]:

@@ -13,13 +13,14 @@ one-line error with exit status 1.
 
 The re-exports below resolve lazily (PEP 562): several submodules
 import back into :mod:`repro.core` (pattern files carry
-:class:`~repro.core.miner.Pattern` objects, the state file carries
+:class:`~repro.miner.Pattern` objects, the state file carries
 :class:`~repro.incremental.state.MiningState`), and binding them at
 package-import time would cycle through the counting layer's own
 ``repro.io.binlog`` import.
 """
 
 from importlib import import_module
+from typing import Any
 
 #: Stable name → defining submodule; see ``docs/API.md``.
 _EXPORTS = {
@@ -45,7 +46,7 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module_name = _EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

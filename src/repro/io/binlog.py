@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from types import TracebackType
 from typing import Iterable, Iterator, Sequence as PySequence
 
 MAGIC = b"SQBL"
@@ -118,7 +119,7 @@ class BinlogWriter:
     file the reader rejects as truncated rather than silently short.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         with open(self.path, "wb") as handle:
             handle.write(HEADER)
@@ -183,7 +184,12 @@ class BinlogWriter:
     def __enter__(self) -> "BinlogWriter":
         return self
 
-    def __exit__(self, exc_type, _exc, _tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        _exc: BaseException | None,
+        _tb: TracebackType | None,
+    ) -> None:
         if exc_type is not None:
             self.abort()
         else:
@@ -220,7 +226,7 @@ class BinlogReader:
     writers' mirror image) at any K, without fd-limit or memory concerns.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         try:
             size = os.path.getsize(self.path)

@@ -15,7 +15,7 @@ import json
 from pathlib import Path
 from typing import Iterable, TextIO
 
-from repro.core.miner import Pattern
+from repro.miner import Pattern
 from repro.core.sequence import Sequence, format_sequence, parse_sequence
 
 

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
+from repro.core.protocols import CustomerRecord, SequenceDatabaseLike
 from repro.core.sequence import Itemset
-from repro.db.database import SequenceDatabase
 from repro.itemsets.hashtree import (
     DEFAULT_BRANCH_FACTOR,
     DEFAULT_LEAF_CAPACITY,
@@ -102,26 +102,26 @@ def _all_subsets_large(candidate: Itemset, prev_set: set[Itemset]) -> bool:
     return True
 
 
-def _iter_customers(db):
+def _iter_customers(db: SequenceDatabaseLike) -> Iterator[CustomerRecord]:
     """Customers of ``db`` in any order — support counting is
     order-independent, and a disk-partitioned database offers a cheaper
     unordered stream (no K-way merge) than its ordered ``__iter__``."""
     unordered = getattr(db, "iter_unordered", None)
-    return unordered() if unordered is not None else iter(db)
+    return iter(unordered()) if unordered is not None else iter(db)
 
 
 def count_itemset_supports(
-    db: SequenceDatabase,
+    db: SequenceDatabaseLike,
     candidates: Iterable[Itemset],
     *,
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
     branch_factor: int = DEFAULT_BRANCH_FACTOR,
-) -> Counter:
+) -> Counter[Itemset]:
     """Customer-support counts of ``candidates`` in one database pass."""
     tree = ItemsetHashTree(
         candidates, leaf_capacity=leaf_capacity, branch_factor=branch_factor
     )
-    counts: Counter = Counter()
+    counts: Counter[Itemset] = Counter()
     if len(tree) == 0:
         return counts
     for customer in _iter_customers(db):
@@ -134,7 +134,7 @@ def count_itemset_supports(
 
 
 def find_litemsets(
-    db: SequenceDatabase,
+    db: SequenceDatabaseLike,
     minsup: float,
     *,
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
@@ -152,7 +152,7 @@ def find_litemsets(
     passes: list[LitemsetPassStats] = []
     counted_supports: dict[Itemset, int] = {}
 
-    item_counts: Counter = Counter()
+    item_counts: Counter[int] = Counter()
     for customer in _iter_customers(db):
         seen: set[int] = set()
         for event in customer.events:

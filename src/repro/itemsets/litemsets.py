@@ -35,7 +35,7 @@ class LitemsetCatalog:
         *,
         leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
         branch_factor: int = DEFAULT_BRANCH_FACTOR,
-    ):
+    ) -> None:
         ordered = sorted(supports, key=lambda s: (len(s), s))
         self._itemsets: tuple[Itemset, ...] = tuple(ordered)
         self._id_of: dict[Itemset, int] = {
@@ -49,7 +49,9 @@ class LitemsetCatalog:
         )
 
     @classmethod
-    def from_result(cls, result: LitemsetResult, **kwargs) -> "LitemsetCatalog":
+    def from_result(
+        cls, result: LitemsetResult, **kwargs: int
+    ) -> "LitemsetCatalog":
         return cls(result.supports, **kwargs)
 
     def __len__(self) -> int:

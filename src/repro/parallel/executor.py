@@ -64,19 +64,33 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
-from typing import Collection, Sequence as PySequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Collection,
+    Sequence as PySequence,
+)
 
 from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
 from repro.parallel.sharding import merge_counts, shard_bounds
 
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+    from multiprocessing.pool import Pool
+
+    from repro.core.counting import CountableSequences
+    from repro.core.protocols import CandidateParents, CountingStrategy, IdSequence
+    from repro.extensions.timeconstraints import TimeConstraints
+
 #: The sequence list of the pass in flight. In the parent it is set just
 #: before the pool forks (children inherit it copy-on-write) and cleared
 #: after the pass; in a spawned worker the initializer assigns it.
-_SEQUENCES = None
+_SEQUENCES: Any = None
 
 #: Per-pass worker state installed by the pool initializer, keyed by the
 #: kind of counting pass.
-_STATE: dict = {}
+_STATE: dict[str, tuple[Any, ...]] = {}
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -88,7 +102,7 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def _context():
+def _context() -> "BaseContext":
     # Prefer fork only on Linux: it is the platform default there and
     # lets workers inherit the database copy-on-write. macOS lists fork
     # too, but CPython made spawn its default because forking a process
@@ -101,22 +115,25 @@ def _context():
     return multiprocessing.get_context(None)
 
 
-def _pool(context, workers: int, initargs: tuple):
+def _pool(
+    context: "BaseContext", workers: int, initargs: tuple[Any, ...]
+) -> "Pool":
     """Create the worker pool (separated out so tests can intercept it)."""
     return context.Pool(
         processes=workers, initializer=_init_worker, initargs=initargs
     )
 
 
-def _init_worker(sequences, kind: str, state: tuple) -> None:
+def _init_worker(sequences: Any, kind: str, state: tuple[Any, ...]) -> None:
     global _SEQUENCES
     if sequences is not None:  # spawn/forkserver: data arrives here
         _SEQUENCES = sequences
     _STATE[kind] = state
 
 
-def _run_sharded(sequences, workers: int, chunk_size: int | None,
-                 kind: str, state: tuple, task, *,
+def _run_sharded(sequences: Any, workers: int, chunk_size: int | None,
+                 kind: str, state: tuple[Any, ...],
+                 task: "Callable[[tuple[int, int]], dict]", *,
                  num_items: int | None = None) -> list[dict]:
     """Map ``task`` over shard bounds in a fresh worker pool.
 
@@ -196,15 +213,15 @@ def _count_vertical_shard(bounds: tuple[int, int]) -> dict:
 
 
 def parallel_count_candidates(
-    sequences,
-    candidates: Collection,
+    sequences: "CountableSequences",
+    candidates: "Collection[IdSequence]",
     *,
     workers: int = 0,
     chunk_size: int | None = None,
-    strategy: str = "hashtree",
+    strategy: "CountingStrategy" = "hashtree",
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
     branch_factor: int = DEFAULT_BRANCH_FACTOR,
-    parents=None,
+    parents: "CandidateParents | None" = None,
 ) -> dict:
     """Sharded-parallel equivalent of :func:`repro.core.counting.count_candidates`.
 
@@ -232,7 +249,7 @@ def parallel_count_candidates(
             return count_candidates(
                 sequences,
                 base,
-                strategy=strategy,  # type: ignore[arg-type]
+                strategy=strategy,
                 leaf_capacity=leaf_capacity,
                 branch_factor=branch_factor,
                 parents=parents,
@@ -262,7 +279,7 @@ def parallel_count_candidates(
         return count_candidates(
             sequences,
             base,
-            strategy=strategy,  # type: ignore[arg-type]
+            strategy=strategy,
             leaf_capacity=leaf_capacity,
             branch_factor=branch_factor,
             parents=parents,
@@ -301,7 +318,8 @@ def _count_length2_partitioned_shard(bounds: tuple[int, int]) -> dict:
 
 
 def parallel_count_length2(
-    sequences, *, workers: int = 0, chunk_size: int | None = None
+    sequences: "CountableSequences", *, workers: int = 0,
+    chunk_size: int | None = None
 ) -> dict:
     """Sharded-parallel equivalent of :func:`repro.core.counting.count_length2`.
 
@@ -355,7 +373,7 @@ def _count_timed_shard(bounds: tuple[int, int]) -> dict:
 def parallel_count_timed(
     sequences: PySequence,
     candidates: Collection,
-    constraints,
+    constraints: "TimeConstraints",
     *,
     workers: int = 0,
     chunk_size: int | None = None,

@@ -7,7 +7,7 @@ from repro.analysis.compare import (
     pattern_length_histogram,
 )
 from repro.analysis.report import format_series_chart, format_table
-from repro.core.miner import Pattern
+from repro.miner import Pattern
 from repro.core.sequence import Sequence
 
 

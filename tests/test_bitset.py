@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 from repro.core import bitset
 from repro.core.bitset import CompiledDatabase, CompiledSequence, ensure_compiled
 from repro.core.counting import count_candidates, count_length2
-from repro.core.miner import MiningParams, mine
+from repro.miner import MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.core.sequence import (
     OccurrenceIndex,

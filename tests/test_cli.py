@@ -406,7 +406,13 @@ class TestExperiment:
         assert "table1-params" in out
 
     def test_unknown_id(self, capsys):
-        assert main(["experiment", "bogus"]) == 2
+        # Pinned by the CLI error policy: anticipated failures exit 1
+        # with a one-line ``error:`` on stderr, never a bespoke status.
+        assert main(["experiment", "bogus"]) == 1
+        message = one_line_error(capsys)
+        assert message.startswith("error:")
+        assert "unknown experiment 'bogus'" in message
+        assert "--list" in message
 
     def test_static_experiment_runs(self, capsys):
         assert main(["experiment", "table1-params"]) == 0

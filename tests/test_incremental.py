@@ -13,7 +13,7 @@ alphabet at all.
 
 import pytest
 
-from repro.core.miner import MiningParams, mine
+from repro.miner import MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database
 from repro.datagen.params import SyntheticParams

@@ -5,7 +5,7 @@ import io
 import pytest
 from hypothesis import given, settings
 
-from repro.core.miner import Pattern
+from repro.miner import Pattern
 from repro.core.sequence import Sequence
 from repro.db.database import SequenceDatabase
 from repro.db.records import Transaction

@@ -1,0 +1,471 @@
+"""The invariant linter: framework, fixture corpus, and the real tree.
+
+Three layers:
+
+* **framework** — import classification, module naming, the rule
+  registry, and the ``python -m tools.lint`` CLI surface;
+* **fixture corpus** — one minimal violating snippet per rule, asserting
+  the rule fires *exactly there* (right rule, right module, right line)
+  and stays quiet on the adjacent compliant twin;
+* **the real tree** — the meta-test that the repository itself is clean,
+  and the counterfactual that restoring the pre-PR-5 eager ``repro.io``
+  re-exports makes ``import-cycles`` fail naming the cycle (the
+  regression this rule exists to catch).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:  # `tools` lives at the repo root
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint import (  # noqa: E402
+    LintContext,
+    LintError,
+    Violation,
+    all_rules,
+    get_rule,
+    run_rules,
+)
+from tools.lint.__main__ import main as lint_main  # noqa: E402
+
+EXPECTED_RULES = [
+    "all-consistency",
+    "annotations-complete",
+    "cli-error-policy",
+    "core-layering",
+    "deterministic-core",
+    "import-cycles",
+]
+
+
+def run_rule(name: str, sources: dict[str, str]) -> list[Violation]:
+    ctx = LintContext.from_sources(sources)
+    return run_rules(ctx, [get_rule(name)])
+
+
+# --------------------------------------------------------------------- #
+# Framework
+# --------------------------------------------------------------------- #
+
+
+class TestFramework:
+    def test_registry_is_complete_and_sorted(self):
+        assert [rule.name for rule in all_rules()] == EXPECTED_RULES
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(LintError, match="unknown rule 'bogus'"):
+            get_rule("bogus")
+
+    def test_import_kind_classification(self):
+        ctx = LintContext.from_sources(
+            {
+                "m": (
+                    "from typing import TYPE_CHECKING\n"
+                    "import json\n"
+                    "if TYPE_CHECKING:\n"
+                    "    import os\n"
+                    "def f() -> None:\n"
+                    "    import csv\n"
+                )
+            }
+        )
+        kinds = {imp.target: imp.kind for imp in ctx.imports_of("m")}
+        assert kinds == {
+            "typing": "eager",
+            "json": "eager",
+            "os": "type_checking",
+            "csv": "lazy",
+        }
+
+    def test_relative_import_resolution(self):
+        ctx = LintContext.from_sources(
+            {
+                "pkg.__init__": "",
+                "pkg.a": "from . import b\nfrom .b import thing\n",
+                "pkg.b": "thing = 1\n",
+            }
+        )
+        targets = set()
+        for imp in ctx.imports_of("pkg.a"):
+            targets |= ctx.resolve_targets(imp)
+        assert targets == {"pkg.b"}
+
+    def test_module_names_strip_src_prefix(self):
+        ctx = LintContext.from_root(REPO_ROOT, scan_roots=("src/repro/core",))
+        assert "repro.core.counting" in ctx.files
+        assert ctx.files["repro.core.counting"].path == (
+            "src/repro/core/counting.py"
+        )
+
+    def test_unknown_override_path_is_an_error(self):
+        with pytest.raises(LintError, match="override paths"):
+            LintContext.from_root(
+                REPO_ROOT,
+                scan_roots=("src/repro/core",),
+                overrides={"no/such/file.py": ""},
+            )
+
+
+# --------------------------------------------------------------------- #
+# Fixture corpus: one violating snippet per rule, firing exactly there
+# --------------------------------------------------------------------- #
+
+
+class TestImportCyclesRule:
+    def test_two_module_cycle_fires(self):
+        violations = run_rule(
+            "import-cycles",
+            {
+                "repro.__init__": "",
+                "repro.a": "import repro.b\n",
+                "repro.b": "import repro.a\n",
+            },
+        )
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.rule == "import-cycles"
+        assert "repro.a -> repro.b -> repro.a" in v.message or (
+            "repro.b -> repro.a -> repro.b" in v.message
+        )
+
+    def test_lazy_backedge_breaks_the_cycle(self):
+        violations = run_rule(
+            "import-cycles",
+            {
+                "repro.__init__": "",
+                "repro.a": "import repro.b\n",
+                "repro.b": "def f() -> None:\n    import repro.a\n",
+            },
+        )
+        assert violations == []
+
+    def test_package_init_import_creates_ancestor_edge(self):
+        # a imports pkg.b; executing that initializes pkg, whose
+        # __init__ imports a back — a real interpreter-level cycle even
+        # though no module names `a` and `pkg/__init__` name each other
+        # symmetrically.
+        violations = run_rule(
+            "import-cycles",
+            {
+                "repro.__init__": "",
+                "repro.a": "from repro.pkg.b import thing\n",
+                "repro.pkg.__init__": "import repro.a\n",
+                "repro.pkg.b": "thing = 1\n",
+            },
+        )
+        assert len(violations) == 1
+        assert "repro.a" in violations[0].message
+        assert "repro.pkg" in violations[0].message
+
+
+class TestCoreLayeringRule:
+    def test_eager_db_import_from_core_fires(self):
+        violations = run_rule(
+            "core-layering",
+            {
+                "repro.core.__init__": "",
+                "repro.core.thing": "from repro.db.database import X\n",
+            },
+        )
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.path == "repro/core/thing.py"
+        assert v.line == 1
+        assert "repro.db.database" in v.message
+
+    def test_lazy_import_also_fires(self):
+        violations = run_rule(
+            "core-layering",
+            {
+                "repro.core.__init__": "",
+                "repro.core.thing": (
+                    "def f() -> None:\n    from repro.io.binlog import Y\n"
+                ),
+            },
+        )
+        assert len(violations) == 1
+        assert "lazy import" in violations[0].message
+
+    def test_type_checking_import_is_exempt(self):
+        violations = run_rule(
+            "core-layering",
+            {
+                "repro.core.__init__": "",
+                "repro.core.thing": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.db.database import X\n"
+                ),
+            },
+        )
+        assert violations == []
+
+
+class TestAllConsistencyRule:
+    def test_unsorted_all_fires(self):
+        violations = run_rule(
+            "all-consistency",
+            {"m": '__all__ = ["b", "a"]\na = 1\nb = 2\n'},
+        )
+        assert len(violations) == 1
+        assert "sorted order" in violations[0].message
+        assert violations[0].line == 1
+
+    def test_unbound_name_fires(self):
+        violations = run_rule(
+            "all-consistency",
+            {"m": '__all__ = ["a", "ghost"]\na = 1\n'},
+        )
+        assert len(violations) == 1
+        assert "ghost" in violations[0].message
+
+    def test_non_literal_all_fires(self):
+        violations = run_rule(
+            "all-consistency",
+            {"m": "__all__ = [n for n in dir()]\n"},
+        )
+        assert len(violations) == 1
+        assert "literal" in violations[0].message
+
+    def test_pep562_dict_pattern_is_accepted(self):
+        source = (
+            '_EXPORTS = {"a": "pkg.x", "b": "pkg.y"}\n'
+            "__all__ = sorted(_EXPORTS)\n"
+            "def __getattr__(name: str) -> object:\n"
+            "    raise AttributeError(name)\n"
+        )
+        assert run_rule("all-consistency", {"m": source}) == []
+
+
+class TestDeterminismRule:
+    def test_module_level_random_call_fires(self):
+        violations = run_rule(
+            "deterministic-core",
+            {
+                "repro.core.x": (
+                    "import random\n"
+                    "def f() -> float:\n"
+                    "    return random.random()\n"
+                )
+            },
+        )
+        assert len(violations) == 1
+        assert violations[0].line == 3
+        assert "random.random" in violations[0].message
+
+    def test_unseeded_rng_fires_seeded_does_not(self):
+        bad = run_rule(
+            "deterministic-core",
+            {"repro.itemsets.x": "import random\nrng = random.Random()\n"},
+        )
+        good = run_rule(
+            "deterministic-core",
+            {"repro.itemsets.x": "import random\nrng = random.Random(1995)\n"},
+        )
+        assert len(bad) == 1 and "OS-entropy" in bad[0].message
+        assert good == []
+
+    def test_wall_clock_fires_perf_counter_does_not(self):
+        bad = run_rule(
+            "deterministic-core",
+            {
+                "repro.incremental.x": (
+                    "import time\n"
+                    "def f() -> float:\n"
+                    "    return time.time()\n"
+                )
+            },
+        )
+        good = run_rule(
+            "deterministic-core",
+            {
+                "repro.incremental.x": (
+                    "import time\n"
+                    "def f() -> float:\n"
+                    "    return time.perf_counter()\n"
+                )
+            },
+        )
+        assert len(bad) == 1 and "wall-clock" in bad[0].message
+        assert good == []
+
+    def test_outside_scope_is_ignored(self):
+        violations = run_rule(
+            "deterministic-core",
+            {"repro.datagen.x": "import random\nr = random.random()\n"},
+        )
+        assert violations == []
+
+
+class TestCliPolicyRule:
+    def test_sys_exit_and_error_print_and_code_return_fire(self):
+        source = (
+            "import sys\n"
+            "def _cmd_bad(args: object) -> int:\n"
+            '    print("error: nope", file=sys.stderr)\n'
+            "    sys.exit(3)\n"
+            "    return 2\n"
+        )
+        violations = run_rule("cli-error-policy", {"repro.cli": source})
+        messages = "\n".join(v.message for v in violations)
+        assert len(violations) == 3
+        assert "sys.exit" in messages
+        assert "_fail" in messages
+        assert "_cmd_bad returns constant exit code 2" in messages
+
+    def test_fail_helper_itself_is_allowed(self):
+        source = (
+            "import sys\n"
+            "def _fail(message: str) -> int:\n"
+            '    print(f"error: {message}", file=sys.stderr)\n'
+            "    return 1\n"
+            'if __name__ == "__main__":\n'
+            "    raise SystemExit(0)\n"
+        )
+        assert run_rule("cli-error-policy", {"repro.cli": source}) == []
+
+    def test_bare_except_fires(self):
+        source = (
+            "def _cmd_x(args: object) -> int:\n"
+            "    try:\n"
+            "        return 0\n"
+            "    except:\n"
+            "        return 0\n"
+        )
+        violations = run_rule("cli-error-policy", {"repro.cli": source})
+        assert len(violations) == 1
+        assert "bare except" in violations[0].message
+
+
+class TestAnnotationsRule:
+    def test_unannotated_def_fires_twice(self):
+        violations = run_rule(
+            "annotations-complete",
+            {"repro.x": "def f(a):\n    return a\n"},
+        )
+        assert len(violations) == 2
+        assert {v.line for v in violations} == {1}
+        messages = {v.message for v in violations}
+        assert any("unannotated parameter a" in m for m in messages)
+        assert any("missing return annotation" in m for m in messages)
+
+    def test_self_and_cls_are_exempt_but_static_first_arg_is_not(self):
+        source = (
+            "class C:\n"
+            "    def m(self, x: int) -> int:\n"
+            "        return x\n"
+            "    @classmethod\n"
+            "    def c(cls) -> None: ...\n"
+            "    @staticmethod\n"
+            "    def s(x) -> None: ...\n"
+        )
+        violations = run_rule("annotations-complete", {"repro.x": source})
+        assert len(violations) == 1
+        assert "def s" in violations[0].message
+
+    def test_star_args_and_init_are_covered(self):
+        source = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "def g(*args, **kw) -> None: ...\n"
+        )
+        violations = run_rule("annotations-complete", {"repro.x": source})
+        messages = "\n".join(v.message for v in violations)
+        assert "__init__ declares -> None" in messages
+        assert "*args" in messages and "**kw" in messages
+
+
+# --------------------------------------------------------------------- #
+# The real tree
+# --------------------------------------------------------------------- #
+
+
+class TestRealTree:
+    @pytest.fixture(scope="class")
+    def real_context(self) -> LintContext:
+        return LintContext.from_root(REPO_ROOT)
+
+    def test_repository_is_clean(self, real_context: LintContext):
+        violations = run_rules(real_context)
+        assert violations == [], "\n" + "\n".join(
+            v.render() for v in violations
+        )
+
+    def test_eager_io_reexports_reintroduce_the_pr5_cycle(self):
+        """The acceptance criterion: deleting the PEP 562 lazy re-export
+        shim in ``repro/io/__init__.py`` (i.e. binding the re-exports
+        eagerly, as before PR 5) must make the cycle rule fail, naming
+        the cycle."""
+        eager = (
+            "from repro.io.binlog import BinlogReader, BinlogWriter\n"
+            "from repro.io.patterns import read_patterns, write_patterns\n"
+            "from repro.io.state import read_mining_state\n"
+        )
+        ctx = LintContext.from_root(
+            REPO_ROOT, overrides={"src/repro/io/__init__.py": eager}
+        )
+        violations = run_rules(ctx, [get_rule("import-cycles")])
+        assert violations, "eager io re-exports must close an import cycle"
+        message = violations[0].message
+        assert "import cycle" in message
+        assert "repro.io" in message
+
+    def test_core_db_import_would_fire_layering(self, real_context):
+        """Counterfactual via overrides: core reaching into db trips the
+        layering rule on the real tree, so the rule is live, not vacuous."""
+        mf = real_context.files["repro.core.counting"]
+        patched = mf.source.replace(
+            "from repro.core.protocols import",
+            "from repro.db.database import SequenceDatabase  # noqa: F401\n"
+            "from repro.core.protocols import",
+            1,
+        )
+        ctx = LintContext.from_root(
+            REPO_ROOT, overrides={"src/repro/core/counting.py": patched}
+        )
+        violations = run_rules(ctx, [get_rule("core-layering")])
+        assert any(
+            "repro.db.database" in v.message
+            and v.path == "src/repro/core/counting.py"
+            for v in violations
+        )
+
+
+# --------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert lint_main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_list_names_every_rule(self, capsys):
+        assert lint_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_RULES:
+            assert name in out
+
+    def test_explain_prints_the_invariant(self, capsys):
+        assert lint_main(["--explain", "import-cycles"]) == 0
+        out = capsys.readouterr().out
+        assert "acyclic" in out
+        assert "PR 5" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--explain", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_single_rule_selection(self, capsys):
+        assert lint_main(["--root", str(REPO_ROOT), "--rule", "core-layering"]) == 0
+        assert "1 rule(s)" in capsys.readouterr().out

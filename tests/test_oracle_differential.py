@@ -22,7 +22,7 @@ from hypothesis import strategies as st
 from repro.baselines.bruteforce import brute_force_mine
 from repro.baselines.prefixspan import prefixspan_mine
 from repro.core.counting import COUNTING_STRATEGIES
-from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.miner import ALGORITHM_NAMES, MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database
 from repro.datagen.params import SyntheticParams

@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.counting import count_candidates, count_length2
-from repro.core.miner import MiningParams, mine
+from repro.miner import MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.db.database import SequenceDatabase
 from repro.parallel import executor

@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import bitset
-from repro.core.miner import MiningParams, mine, mine_sequential_patterns
+from repro.miner import MiningParams, mine, mine_sequential_patterns
 from repro.core.phase import CountingOptions
 from repro.datagen.generator import (
     generate_database,

@@ -17,7 +17,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.counting import COUNTING_STRATEGIES, count_candidates
-from repro.core.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.miner import ALGORITHM_NAMES, MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.extensions.timeconstraints import TimeConstraints, mine_time_constrained
 from repro.io.csvio import database_to_transactions

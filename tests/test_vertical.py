@@ -19,7 +19,7 @@ from repro.core import vertical
 from repro.core.bitset import CompiledDatabase
 from repro.core.candidates import apriori_generate
 from repro.core.counting import count_candidates
-from repro.core.miner import MiningParams, mine
+from repro.miner import MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.core.sequence import earliest_end_index, latest_start_index
 from repro.core.vertical import (

@@ -1,0 +1,5 @@
+"""Developer tooling for the repository (not part of the ``repro`` package).
+
+``tools.lint`` is the repo-specific static-analysis pass; run it as
+``python -m tools.lint`` from the repository root.
+"""

@@ -1,0 +1,349 @@
+"""A repo-specific AST linter enforcing invariants types cannot express.
+
+``mypy --strict`` checks that every seam is *called* correctly; the rules
+here check properties of the *module graph and source shape* that no
+annotation can state: that the import graph is acyclic, that ``core/``
+never imports the storage or I/O layers, that ``__all__`` surfaces are
+consistent, that the deterministic subsystems touch no entropy source,
+and that the CLI routes every failure through its single error path.
+
+Usage (from the repository root)::
+
+    python -m tools.lint                # lint the tree, exit 1 on violations
+    python -m tools.lint --list        # one line per registered rule
+    python -m tools.lint --explain RULE  # a rule's full invariant
+    python -m tools.lint --rule RULE   # run a single rule
+
+Architecture: a rule is a named check over a :class:`LintContext` — the
+parsed AST of every scanned file plus cached import classification
+(eager / lazy / ``TYPE_CHECKING``-only, with relative imports resolved).
+Rules self-register at import via :func:`register`, so adding one is a
+single module under ``tools/lint/rules/`` with a fixture test; the
+framework, CLI, and CI job pick it up automatically. Contexts can be
+built from the real tree (:meth:`LintContext.from_root`, optionally with
+per-file source *overrides* for counterfactual tests) or from in-memory
+sources (:meth:`LintContext.from_sources`, used by the fixture corpus).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Literal, Mapping, Sequence
+
+__all__ = [
+    "ImportedModule",
+    "LintContext",
+    "LintError",
+    "ModuleFile",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "register",
+    "run_rules",
+]
+
+#: Directories scanned by default, relative to the repository root.
+DEFAULT_SCAN_ROOTS = ("src/repro", "tools", "benchmarks")
+
+
+class LintError(Exception):
+    """Raised for setup problems (unknown rule, unparsable tree root)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+#: How an import statement executes: at module import time (``eager``),
+#: inside a function body (``lazy``), or never (``type_checking`` — under
+#: an ``if TYPE_CHECKING:`` guard, visible to mypy only).
+ImportKind = Literal["eager", "lazy", "type_checking"]
+
+
+@dataclass(frozen=True)
+class ImportedModule:
+    """One import statement, with its target resolved to an absolute path.
+
+    For ``import a.b`` the target is ``a.b`` and ``names`` is empty; for
+    ``from a.b import x, y`` the target is ``a.b`` and ``names`` is
+    ``("x", "y")`` — a name may itself be a submodule, which rules
+    resolve against the scanned module set via
+    :meth:`LintContext.resolve_targets`.
+    """
+
+    target: str
+    names: tuple[str, ...]
+    line: int
+    kind: ImportKind
+
+
+@dataclass(frozen=True)
+class ModuleFile:
+    """One scanned file: its path, dotted module name, and parsed AST."""
+
+    path: str
+    module: str
+    is_package: bool
+    tree: ast.Module
+    source: str
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+        and isinstance(test.value, ast.Name)
+        and test.value.id == "typing"
+    )
+
+
+def _resolve_relative(mf: ModuleFile, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = mf.module.split(".")
+    if not mf.is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop:
+        parts = parts[: len(parts) - drop] if drop < len(parts) else []
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts) if parts else None
+
+
+def _collect_imports(mf: ModuleFile) -> list[ImportedModule]:
+    found: list[ImportedModule] = []
+
+    def visit(nodes: Sequence[ast.stmt], kind: ImportKind) -> None:
+        for node in nodes:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    found.append(
+                        ImportedModule(alias.name, (), node.lineno, kind)
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_relative(mf, node)
+                if target is not None:
+                    names = tuple(alias.name for alias in node.names)
+                    found.append(
+                        ImportedModule(target, names, node.lineno, kind)
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Imports in a function body run only when it is called.
+                inner = "lazy" if kind == "eager" else kind
+                visit(node.body, inner)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, kind)
+            elif isinstance(node, ast.If):
+                body_kind: ImportKind = (
+                    "type_checking"
+                    if _is_type_checking_test(node.test) and kind == "eager"
+                    else kind
+                )
+                visit(node.body, body_kind)
+                visit(node.orelse, kind)
+            elif isinstance(node, ast.Try):
+                visit(node.body, kind)
+                for handler in node.handlers:
+                    visit(handler.body, kind)
+                visit(node.orelse, kind)
+                visit(node.finalbody, kind)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                visit(node.body, kind)
+            elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                visit(node.body, kind)
+                visit(node.orelse, kind)
+
+    visit(mf.tree.body, "eager")
+    return found
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect: parsed files keyed by module name."""
+
+    files: dict[str, ModuleFile]
+    _imports: dict[str, list[ImportedModule]] = field(default_factory=dict)
+
+    @classmethod
+    def from_root(
+        cls,
+        root: Path,
+        *,
+        scan_roots: Sequence[str] = DEFAULT_SCAN_ROOTS,
+        overrides: Mapping[str, str] | None = None,
+    ) -> "LintContext":
+        """Parse the real tree under ``root``.
+
+        ``overrides`` maps repository-relative paths to replacement
+        source text — counterfactual tests use it to ask "would the tree
+        still lint if this file looked like *that*?" without touching
+        disk.
+        """
+        overrides = dict(overrides or {})
+        files: dict[str, ModuleFile] = {}
+        for scan_root in scan_roots:
+            base = root / scan_root
+            if not base.exists():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                rel = path.relative_to(root).as_posix()
+                source = overrides.pop(rel, None)
+                if source is None:
+                    source = path.read_text(encoding="utf-8")
+                module, is_package = _module_name(rel)
+                files[module] = ModuleFile(
+                    path=rel,
+                    module=module,
+                    is_package=is_package,
+                    tree=ast.parse(source, filename=rel),
+                    source=source,
+                )
+        if overrides:
+            unknown = ", ".join(sorted(overrides))
+            raise LintError(f"override paths not in the scanned tree: {unknown}")
+        return cls(files=files)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "LintContext":
+        """Build a context from ``{module_name: source}`` (fixture tests).
+
+        A module name ending in ``.__init__`` declares a package; the
+        suffix is stripped from the stored module name.
+        """
+        files: dict[str, ModuleFile] = {}
+        for module, source in sources.items():
+            is_package = module.endswith(".__init__") or module == "__init__"
+            name = module.rsplit(".__init__", 1)[0] if is_package else module
+            path = name.replace(".", "/") + (
+                "/__init__.py" if is_package else ".py"
+            )
+            files[name] = ModuleFile(
+                path=path,
+                module=name,
+                is_package=is_package,
+                tree=ast.parse(source, filename=path),
+                source=source,
+            )
+        return cls(files=files)
+
+    def modules(self, prefix: str = "") -> Iterator[ModuleFile]:
+        """Scanned modules, sorted by name, optionally under a prefix."""
+        for name in sorted(self.files):
+            if not prefix or name == prefix or name.startswith(prefix + "."):
+                yield self.files[name]
+
+    def imports_of(self, module: str) -> list[ImportedModule]:
+        """All import statements of ``module`` (cached per context)."""
+        cached = self._imports.get(module)
+        if cached is None:
+            cached = _collect_imports(self.files[module])
+            self._imports[module] = cached
+        return cached
+
+    def resolve_targets(self, imp: ImportedModule) -> set[str]:
+        """Scanned modules an import statement binds.
+
+        ``import a.b.c`` resolves to the longest scanned prefix of
+        ``a.b.c``; ``from a.b import x`` resolves to ``a.b.x`` when that
+        is itself a scanned module, else to ``a.b``. Imports of modules
+        outside the scanned tree resolve to nothing.
+        """
+        resolved: set[str] = set()
+        if not imp.names:
+            candidate = imp.target
+            while candidate:
+                if candidate in self.files:
+                    resolved.add(candidate)
+                    break
+                candidate = candidate.rpartition(".")[0]
+            return resolved
+        for name in imp.names:
+            if f"{imp.target}.{name}" in self.files:
+                resolved.add(f"{imp.target}.{name}")
+            elif imp.target in self.files:
+                resolved.add(imp.target)
+        return resolved
+
+
+def _module_name(rel_path: str) -> tuple[str, bool]:
+    """Dotted module name for a repository-relative path.
+
+    Files under ``src/`` are rooted at the package (``src/repro/cli.py``
+    → ``repro.cli``); everything else is rooted at the repository
+    (``tools/lint/__init__.py`` → ``tools.lint``, ``benchmarks/x.py`` →
+    ``benchmarks.x`` — a synthetic name when no ``__init__`` exists,
+    which only affects reporting).
+    """
+    parts = rel_path.split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts), is_package
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named invariant check over a :class:`LintContext`."""
+
+    name: str
+    summary: str
+    explanation: str
+    check: Callable[[LintContext], list[Violation]]
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add a rule to the registry (idempotent per name)."""
+    existing = _REGISTRY.get(rule.name)
+    if existing is not None and existing is not rule:
+        raise LintError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return rule
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, importing the bundled rule modules first."""
+    from tools.lint import rules as _rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> Rule:
+    for rule in all_rules():
+        if rule.name == name:
+            return rule
+    known = ", ".join(sorted(_REGISTRY))
+    raise LintError(f"unknown rule {name!r} (known: {known})")
+
+
+def run_rules(
+    ctx: LintContext, rules: Sequence[Rule] | None = None
+) -> list[Violation]:
+    """Run rules over a context; violations sorted by location."""
+    chosen = list(rules) if rules is not None else all_rules()
+    found: list[Violation] = []
+    for rule in chosen:
+        found.extend(rule.check(ctx))
+    return sorted(found, key=lambda v: (v.path, v.line, v.rule, v.message))

@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m tools.lint`` from the repo root."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.lint import (
+    LintContext,
+    LintError,
+    Rule,
+    all_rules,
+    get_rule,
+    run_rules,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description=(
+            "Repo-specific AST linter: import cycles, core layering, "
+            "__all__ consistency, determinism, CLI error policy, and "
+            "annotation completeness."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root to scan (default: current directory)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's full invariant description and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.list:
+            for rule in all_rules():
+                print(f"{rule.name:22s} {rule.summary}")
+            return 0
+        if args.explain:
+            rule = get_rule(args.explain)
+            print(f"{rule.name}: {rule.summary}\n")
+            print(rule.explanation.strip())
+            return 0
+        chosen: list[Rule] | None = None
+        if args.rule:
+            chosen = [get_rule(name) for name in args.rule]
+        ctx = LintContext.from_root(args.root.resolve())
+        if not ctx.files:
+            raise LintError(
+                f"no Python files found under {args.root}; run from the "
+                "repository root or pass --root"
+            )
+        violations = run_rules(ctx, chosen)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        names = sorted({v.rule for v in violations})
+        print(
+            f"\n{len(violations)} violation(s) across {len(names)} rule(s): "
+            f"{', '.join(names)}",
+            file=sys.stderr,
+        )
+        return 1
+    ran = len(chosen) if chosen is not None else len(all_rules())
+    print(f"ok: {len(ctx.files)} files clean under {ran} rule(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Bundled rules: importing this package registers every rule.
+
+Each rule lives in its own module and calls
+:func:`tools.lint.register` at import time; :func:`tools.lint.all_rules`
+imports this package, so a new rule only needs a new module listed here
+(plus a fixture test in ``tests/test_lint.py``).
+"""
+
+# NB: no `from __future__ import annotations` here — it would bind the
+# name `annotations` in this namespace and shadow the rule module below.
+from tools.lint.rules import (  # noqa: F401  (registration side effects)
+    annotations,
+    cli_policy,
+    cycles,
+    determinism,
+    exports,
+    layering,
+)

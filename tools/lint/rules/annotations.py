@@ -1,0 +1,126 @@
+"""``annotations-complete``: every function is fully annotated.
+
+``mypy --strict`` runs in CI (where it can be pip-installed), but the
+container this repo develops in is offline, so the untyped-def subset of
+strict mode is enforced locally too: every ``def`` in the scanned tree —
+including nested functions, methods, ``*args``/``**kwargs``, and
+``__init__`` (which must declare ``-> None``) — carries parameter and
+return annotations. ``self`` and ``cls`` in the first position of a
+method are exempt, as in mypy. This keeps "add annotations later" debt
+from accumulating between CI runs and makes the CI mypy job a
+refinement (signature *correctness*) rather than the first line of
+defense (signature *presence*).
+
+Test trees are deliberately out of scope — pytest fixtures make full
+annotation there busywork — as is any function whose enclosing class or
+own decorator list includes ``overload``-adjacent machinery that mypy
+checks structurally anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint import LintContext, Rule, Violation, register
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _decorator_names(node: FunctionNode) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _functions(
+    nodes: list[ast.stmt], in_class: bool
+) -> Iterator[tuple[FunctionNode, bool]]:
+    """Yield ``(function node, is a method)`` for every def, nested too."""
+    for node in nodes:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, in_class
+            yield from _functions(node.body, False)
+        elif isinstance(node, ast.ClassDef):
+            yield from _functions(node.body, True)
+        elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    yield from _functions([child], in_class)
+                elif isinstance(child, ast.ExceptHandler):
+                    yield from _functions(child.body, in_class)
+
+
+def _missing_parameters(node: FunctionNode, is_method: bool) -> list[str]:
+    args = node.args
+    positional = args.posonlyargs + args.args
+    skip_first = (
+        is_method
+        and bool(positional)
+        and "staticmethod" not in _decorator_names(node)
+    )
+    missing = [
+        arg.arg
+        for arg in positional[1 if skip_first else 0 :]
+        if arg.annotation is None
+    ]
+    missing.extend(
+        arg.arg for arg in args.kwonlyargs if arg.annotation is None
+    )
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    return missing
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for mf in ctx.modules():
+        for node, is_method in _functions(mf.tree.body, False):
+            missing = _missing_parameters(node, is_method)
+            if missing:
+                violations.append(
+                    Violation(
+                        rule=RULE.name,
+                        path=mf.path,
+                        line=node.lineno,
+                        message=(
+                            f"def {node.name}: unannotated parameter"
+                            f"{'s' if len(missing) > 1 else ''} "
+                            f"{', '.join(missing)}"
+                        ),
+                    )
+                )
+            if node.returns is None:
+                violations.append(
+                    Violation(
+                        rule=RULE.name,
+                        path=mf.path,
+                        line=node.lineno,
+                        message=(
+                            f"def {node.name}: missing return annotation"
+                            + (
+                                " (__init__ declares -> None)"
+                                if node.name == "__init__"
+                                else ""
+                            )
+                        ),
+                    )
+                )
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="annotations-complete",
+        summary="every def in the scanned tree has full annotations",
+        explanation=__doc__ or "",
+        check=check,
+    )
+)

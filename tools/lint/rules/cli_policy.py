@@ -1,0 +1,169 @@
+"""``cli-error-policy``: one error path through the CLI, everywhere.
+
+:mod:`repro.cli` has exactly one way to fail: a handler raises
+``ValueError``/``OSError``, ``main()`` catches it and routes through
+``_fail()``, which prints a single ``error: ...`` line to stderr and
+returns exit code 1. Scripted callers can then rely on "exit 1 +
+one-line stderr" for every operational failure (argparse usage errors
+keep their conventional exit 2). This rule enforces the shape:
+
+* no ``sys.exit(...)`` calls — exit codes flow through ``main()``'s
+  return value;
+* ``raise SystemExit`` only in the ``if __name__ == "__main__":`` guard;
+* command handlers (``_cmd_*``) never ``return`` a nonzero integer
+  constant — an error return hides the message and bypasses ``_fail``;
+* a ``print`` whose message starts with ``error`` appears only inside
+  ``_fail`` itself — anywhere else it is an error path dodging the
+  helper;
+* no bare ``except:`` — swallowing ``SystemExit``/``KeyboardInterrupt``
+  breaks the contract from below.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint import LintContext, Rule, Violation, register
+
+#: The module this policy governs.
+SCOPE = "repro.cli"
+
+#: The one function allowed to print an ``error: ...`` line.
+FAIL_HELPER = "_fail"
+
+
+def _is_main_guard(node: ast.stmt) -> bool:
+    return (
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and isinstance(node.test.left, ast.Name)
+        and node.test.left.id == "__name__"
+    )
+
+
+def _starts_with_error(node: ast.Call) -> bool:
+    if not node.args:
+        return False
+    first = node.args[0]
+    if isinstance(first, ast.JoinedStr) and first.values:
+        first = first.values[0]
+    return (
+        isinstance(first, ast.Constant)
+        and isinstance(first.value, str)
+        and first.value.lstrip().lower().startswith("error")
+    )
+
+
+def _walk_with_function(
+    stmt: ast.stmt, function: str | None, in_guard: bool
+) -> Iterator[tuple[ast.AST, str | None, bool]]:
+    """Yield ``(node, enclosing function name, under __main__ guard)``."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield stmt, function, in_guard
+        for child in stmt.body:
+            yield from _walk_with_function(child, stmt.name, False)
+        return
+    guard = in_guard or _is_main_guard(stmt)
+    yield stmt, function, guard
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt):
+            yield from _walk_with_function(child, function, guard)
+        elif isinstance(child, ast.ExceptHandler):
+            yield child, function, guard
+            for handler_stmt in child.body:
+                yield from _walk_with_function(handler_stmt, function, guard)
+        else:
+            for node in ast.walk(child):
+                yield node, function, guard
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    mf = ctx.files.get(SCOPE)
+    if mf is None:
+        return []
+    violations: list[Violation] = []
+
+    def flag(line: int, message: str) -> None:
+        violations.append(
+            Violation(rule=RULE.name, path=mf.path, line=line, message=message)
+        )
+
+    nodes = (
+        item
+        for top in mf.tree.body
+        for item in _walk_with_function(top, None, False)
+    )
+    for node, function, in_guard in nodes:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "exit"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "sys"
+            ):
+                flag(
+                    node.lineno,
+                    "sys.exit() in the CLI; return an exit code from the "
+                    "handler (or raise ValueError/OSError for errors) so "
+                    "main() stays the single exit path",
+                )
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "print"
+                and _starts_with_error(node)
+                and function != FAIL_HELPER
+            ):
+                flag(
+                    node.lineno,
+                    f"'error ...' printed outside {FAIL_HELPER}(); error "
+                    "paths must raise and let main() route through "
+                    f"{FAIL_HELPER} (one line on stderr, exit 1)",
+                )
+        elif isinstance(node, ast.Raise):
+            exc = node.exc
+            name = (
+                exc.func.id
+                if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name)
+                else exc.id
+                if isinstance(exc, ast.Name)
+                else None
+            )
+            if name == "SystemExit" and not in_guard:
+                flag(
+                    node.lineno,
+                    "raise SystemExit outside the __main__ guard; handlers "
+                    "raise ValueError/OSError and main() returns the code",
+                )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            flag(
+                node.lineno,
+                "bare except: in the CLI swallows SystemExit and "
+                "KeyboardInterrupt; catch (ValueError, OSError) explicitly",
+            )
+        elif (
+            isinstance(node, ast.Return)
+            and function is not None
+            and function.startswith("_cmd_")
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+            and node.value.value != 0
+        ):
+            flag(
+                node.lineno,
+                f"{function} returns constant exit code "
+                f"{node.value.value}; raise ValueError/OSError instead so "
+                f"the message reaches {FAIL_HELPER}",
+            )
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="cli-error-policy",
+        summary="repro.cli errors go through _fail(): one stderr line, exit 1",
+        explanation=__doc__ or "",
+        check=check,
+    )
+)

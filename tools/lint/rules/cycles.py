@@ -1,0 +1,175 @@
+"""``import-cycles``: the ``repro`` import graph must be acyclic.
+
+PR 5 hit this the hard way: binding the :mod:`repro.io` re-exports at
+package-import time closed a patterns → miner → counting → binlog cycle
+that only failed for some import orders. The fix (PEP 562 lazy
+re-exports) is one deleted line away from regressing, so this rule
+re-derives the *eager* import graph on every lint run and fails on any
+strongly connected component.
+
+Edge semantics mirror the interpreter:
+
+* only module-level (eager) imports create edges — imports inside
+  function bodies and under ``if TYPE_CHECKING:`` do not execute at
+  import time;
+* importing ``a.b.c`` first executes the ``a`` and ``a.b`` package
+  ``__init__`` modules, so the importer also gets edges to every proper
+  ancestor package of the target — *except* ancestors it shares with the
+  target's importer itself, which are already mid-initialization and do
+  not re-execute.
+"""
+
+from __future__ import annotations
+
+from tools.lint import LintContext, Rule, Violation, register
+
+#: The package whose import graph is checked.
+ROOT_PACKAGE = "repro"
+
+
+def _is_ancestor(package: str, module: str) -> bool:
+    return module.startswith(package + ".")
+
+
+def build_eager_graph(
+    ctx: LintContext, root_package: str = ROOT_PACKAGE
+) -> dict[str, dict[str, int]]:
+    """Eager import edges ``importer -> {imported: first line}``."""
+    scoped = {
+        mf.module
+        for mf in ctx.modules(root_package)
+    }
+    graph: dict[str, dict[str, int]] = {module: {} for module in scoped}
+    for module in scoped:
+        edges = graph[module]
+        for imp in ctx.imports_of(module):
+            if imp.kind != "eager":
+                continue
+            for target in ctx.resolve_targets(imp):
+                if target not in scoped:
+                    continue
+                reached = {target}
+                ancestor = target.rpartition(".")[0]
+                while ancestor:
+                    if ancestor in scoped and not (
+                        ancestor == module or _is_ancestor(ancestor, module)
+                        or module == ancestor
+                    ):
+                        reached.add(ancestor)
+                    ancestor = ancestor.rpartition(".")[0]
+                for node in reached:
+                    if node != module and node not in edges:
+                        edges[node] = imp.line
+    return graph
+
+
+def _strongly_connected(graph: dict[str, dict[str, int]]) -> list[list[str]]:
+    """Tarjan's algorithm, iterative; returns SCCs with ≥ 2 members or a
+    self-loop."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (start, sorted(graph[start]), 0)
+        ]
+        while work:
+            node, targets, pointer = work.pop()
+            if pointer == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            while pointer < len(targets):
+                target = targets[pointer]
+                pointer += 1
+                if target not in index:
+                    work.append((node, targets, pointer))
+                    work.append((target, sorted(graph[target]), 0))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph[node]:
+                    sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def _cycle_path(graph: dict[str, dict[str, int]], component: list[str]) -> list[str]:
+    """A concrete cycle through the component, for the message."""
+    members = set(component)
+    start = component[0]
+    path = [start]
+    seen = {start}
+    node = start
+    while True:
+        candidates = sorted(t for t in graph[node] if t in members)
+        if not candidates:
+            return path
+        nxt = next((t for t in candidates if t == start), None)
+        if nxt is None:
+            nxt = next((t for t in candidates if t not in seen), candidates[0])
+        if nxt == start or nxt in seen:
+            return path[path.index(nxt) if nxt in seen and nxt != start else 0:]
+        path.append(nxt)
+        seen.add(nxt)
+        node = nxt
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    graph = build_eager_graph(ctx)
+    violations: list[Violation] = []
+    for component in _strongly_connected(graph):
+        path = _cycle_path(graph, component)
+        cycle = " -> ".join(path + [path[0]])
+        first = path[0]
+        second = path[1] if len(path) > 1 else path[0]
+        line = graph[first].get(second, 1)
+        violations.append(
+            Violation(
+                rule=RULE.name,
+                path=ctx.files[first].path,
+                line=line,
+                message=(
+                    f"import cycle among {len(component)} modules: {cycle} "
+                    f"(eager module-level imports, including implicit "
+                    f"ancestor-package initialization)"
+                    + (
+                        f"; full component: {', '.join(component)}"
+                        if len(path) < len(component)
+                        else ""
+                    )
+                ),
+            )
+        )
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="import-cycles",
+        summary="the eager import graph of src/repro must be acyclic",
+        explanation=__doc__ or "",
+        check=check,
+    )
+)

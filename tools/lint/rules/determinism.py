@@ -1,0 +1,128 @@
+"""``deterministic-core``: no entropy sources in the deterministic layers.
+
+The differential-oracle suite (PR 4) and the incremental-consistency
+tests (PR 5) both rest on one assumption: mining the same database twice
+yields byte-identical results. Any call to an unseeded RNG or to a
+wall-clock inside the algorithm layers silently breaks that, usually in
+a way tests only catch probabilistically. This rule statically bans, in
+``repro.core``, ``repro.itemsets``, and ``repro.incremental``:
+
+* module-level ``random`` functions (``random.random()``,
+  ``random.shuffle()``, …) — they share hidden global state;
+* ``random.Random()`` with no arguments — an OS-entropy seed;
+* ``time.time`` / ``time.time_ns`` — wall-clock values that leak into
+  outputs (``time.perf_counter`` for *measuring* durations is fine and
+  is what :mod:`repro.core.stats` uses);
+* ``from random import ...`` / ``from time import time`` — the same
+  calls with the module prefix laundered away.
+
+Seeded generators are explicitly allowed: ``random.Random(seed)`` is how
+:mod:`repro.datagen` stays reproducible, and a core module taking a
+caller-provided ``Random`` instance is fine — the caller owns the seed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint import LintContext, Rule, Violation, register
+
+#: Subsystems whose outputs must be bit-reproducible.
+SCOPES = ("repro.core", "repro.itemsets", "repro.incremental")
+
+#: Wall-clock attributes of :mod:`time` that leak into outputs.
+BANNED_TIME_ATTRS = ("time", "time_ns", "localtime", "ctime")
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for scope in SCOPES:
+        for mf in ctx.modules(scope):
+            for imp in ctx.imports_of(mf.module):
+                if imp.kind == "type_checking":
+                    continue
+                if imp.target == "random" and imp.names:
+                    violations.append(
+                        Violation(
+                            rule=RULE.name,
+                            path=mf.path,
+                            line=imp.line,
+                            message=(
+                                "from-import of random in a deterministic "
+                                "module; import the module and seed an "
+                                "explicit random.Random(seed) instead"
+                            ),
+                        )
+                    )
+                if imp.target == "time" and any(
+                    name in BANNED_TIME_ATTRS for name in imp.names
+                ):
+                    violations.append(
+                        Violation(
+                            rule=RULE.name,
+                            path=mf.path,
+                            line=imp.line,
+                            message=(
+                                "from-import of a wall-clock from time in a "
+                                "deterministic module; use time.perf_counter "
+                                "for durations"
+                            ),
+                        )
+                    )
+            for node in ast.walk(mf.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                ):
+                    continue
+                owner, attr = func.value.id, func.attr
+                if owner == "random":
+                    if attr == "Random" and (node.args or node.keywords):
+                        continue  # Explicitly seeded generator: allowed.
+                    violations.append(
+                        Violation(
+                            rule=RULE.name,
+                            path=mf.path,
+                            line=node.lineno,
+                            message=(
+                                f"random.{attr}(...) in a deterministic "
+                                "module"
+                                + (
+                                    " (unseeded random.Random() draws an "
+                                    "OS-entropy seed)"
+                                    if attr == "Random"
+                                    else " (module-level random functions "
+                                    "share hidden global state)"
+                                )
+                                + "; pass a seeded random.Random through "
+                                "the API instead"
+                            ),
+                        )
+                    )
+                elif owner == "time" and attr in BANNED_TIME_ATTRS:
+                    violations.append(
+                        Violation(
+                            rule=RULE.name,
+                            path=mf.path,
+                            line=node.lineno,
+                            message=(
+                                f"time.{attr}() in a deterministic module; "
+                                "wall-clock values leak into outputs — use "
+                                "time.perf_counter for durations"
+                            ),
+                        )
+                    )
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="deterministic-core",
+        summary="no unseeded RNGs or wall-clocks in core/itemsets/incremental",
+        explanation=__doc__ or "",
+        check=check,
+    )
+)

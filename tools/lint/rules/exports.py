@@ -1,0 +1,217 @@
+"""``all-consistency``: every declared ``__all__`` must be honest.
+
+A module's ``__all__`` is its public API contract — ``from m import *``
+follows it, and so do readers deciding what is safe to call. This rule
+checks three properties for every scanned module that declares one:
+
+* **shape** — ``__all__`` is a list/tuple of string literals (optionally
+  wrapped in ``sorted(...)`` or ``list(...)``, or derived from a
+  module-level literal like ``__all__ = list(_FORWARDED)``);
+* **existence** — every listed name is bound at module level (a def,
+  class, assignment, or import). Modules with a PEP 562 module-level
+  ``__getattr__`` are exempt from this check, since their names bind
+  dynamically;
+* **sortedness** — the listed names are in sorted order, so diffs stay
+  one-line.
+
+It deliberately does *not* require every public definition to be listed:
+several internal modules export a narrow surface on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint import LintContext, ModuleFile, Rule, Violation, register
+
+
+def _literal_strings(node: ast.expr) -> list[str] | None:
+    """String elements of a list/tuple/set/dict literal, else ``None``.
+
+    For a dict literal the *keys* are taken — the PEP 562 re-export
+    pattern stores ``{name: providing_module}`` and derives ``__all__``
+    as ``sorted(_EXPORTS)``.
+    """
+    elements: list[ast.expr | None]
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        elements = list(node.elts)
+    elif isinstance(node, ast.Dict):
+        elements = list(node.keys)
+    else:
+        return None
+    out: list[str] = []
+    for element in elements:
+        if isinstance(element, ast.Constant) and isinstance(
+            element.value, str
+        ):
+            out.append(element.value)
+        else:
+            return None
+    return out
+
+
+def _top_level_literals(mf: ModuleFile) -> dict[str, list[str]]:
+    """Module-level ``NAME = [literal strings]`` bindings (one level)."""
+    found: dict[str, list[str]] = {}
+    for node in mf.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                values = _literal_strings(node.value)
+                if values is not None:
+                    found[target.id] = values
+    return found
+
+
+def _resolve_all(
+    mf: ModuleFile, node: ast.expr
+) -> tuple[list[str] | None, bool]:
+    """``(names, is_explicitly_sorted)`` for an ``__all__`` value node."""
+    direct = _literal_strings(node)
+    if direct is not None:
+        return direct, False
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("sorted", "list", "tuple")
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        inner = _literal_strings(node.args[0])
+        if inner is None and isinstance(node.args[0], ast.Name):
+            inner = _top_level_literals(mf).get(node.args[0].id)
+        if inner is not None:
+            return inner, node.func.id == "sorted"
+    return None, False
+
+
+def _module_level_bindings(mf: ModuleFile) -> set[str]:
+    bound: set[str] = set()
+
+    def bind_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+
+    def visit(nodes: list[ast.stmt]) -> None:
+        for node in nodes:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bind_target(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(node.target)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(
+                        alias.asname
+                        if alias.asname
+                        else alias.name.partition(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname if alias.asname else alias.name)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+
+    visit(mf.tree.body)
+    return bound
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for mf in ctx.modules():
+        for node in mf.tree.body:
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+            ):
+                continue
+            names, explicitly_sorted = _resolve_all(mf, node.value)
+            if names is None:
+                violations.append(
+                    Violation(
+                        rule=RULE.name,
+                        path=mf.path,
+                        line=node.lineno,
+                        message=(
+                            "__all__ must be a literal list/tuple of strings "
+                            "(optionally sorted()/list() of a module-level "
+                            "literal) so it is statically checkable"
+                        ),
+                    )
+                )
+                continue
+            duplicates = sorted(
+                {name for name in names if names.count(name) > 1}
+            )
+            if duplicates:
+                violations.append(
+                    Violation(
+                        rule=RULE.name,
+                        path=mf.path,
+                        line=node.lineno,
+                        message=(
+                            f"__all__ lists duplicate names: "
+                            f"{', '.join(duplicates)}"
+                        ),
+                    )
+                )
+            if not explicitly_sorted and names != sorted(names):
+                violations.append(
+                    Violation(
+                        rule=RULE.name,
+                        path=mf.path,
+                        line=node.lineno,
+                        message=(
+                            "__all__ entries must be in sorted order "
+                            f"(first misplaced: "
+                            f"{next(n for n, s in zip(names, sorted(names)) if n != s)!r})"
+                        ),
+                    )
+                )
+            bound = _module_level_bindings(mf)
+            if "__getattr__" in bound:
+                continue  # PEP 562 module: names bind dynamically.
+            missing = sorted(set(names) - bound)
+            if missing:
+                violations.append(
+                    Violation(
+                        rule=RULE.name,
+                        path=mf.path,
+                        line=node.lineno,
+                        message=(
+                            f"__all__ names not bound at module level: "
+                            f"{', '.join(missing)}"
+                        ),
+                    )
+                )
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="all-consistency",
+        summary="declared __all__ lists must be literal, sorted, and bound",
+        explanation=__doc__ or "",
+        check=check,
+    )
+)

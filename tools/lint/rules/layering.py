@@ -1,0 +1,88 @@
+"""``core-layering``: ``repro.core`` must not depend on storage or I/O.
+
+The algorithm layer (``repro/core/``) is written against the structural
+protocols in :mod:`repro.core.protocols`; the concrete providers live in
+``repro/db/``, ``repro/io/``, and :mod:`repro.cli`. If a core module
+imports any of those — eagerly *or* lazily inside a function — the
+dependency inversion is gone and the protocols become decoration, so
+this rule flags both kinds. ``if TYPE_CHECKING:`` imports are exempt:
+they never execute and merely name concrete types in annotations.
+
+Intentional exceptions must be declared in :data:`EXEMPTIONS` with a
+reason; an exemption that no longer matches anything is itself an error,
+so the table cannot silently rot.
+"""
+
+from __future__ import annotations
+
+from tools.lint import LintContext, Rule, Violation, register
+
+#: Layer that must stay provider-free.
+CORE_PREFIX = "repro.core"
+
+#: Provider layers that core must not import.
+FORBIDDEN_PREFIXES = ("repro.db", "repro.io", "repro.cli")
+
+#: ``{core module: reason}`` — declared, reviewed layering exceptions.
+EXEMPTIONS: dict[str, str] = {}
+
+
+def _in_layer(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    violations: list[Violation] = []
+    used_exemptions: set[str] = set()
+    for mf in ctx.modules(CORE_PREFIX):
+        for imp in ctx.imports_of(mf.module):
+            if imp.kind == "type_checking":
+                continue
+            hits = sorted(
+                target
+                for target in ctx.resolve_targets(imp) | {imp.target}
+                for prefix in FORBIDDEN_PREFIXES
+                if _in_layer(target, prefix)
+            )
+            if not hits:
+                continue
+            if mf.module in EXEMPTIONS:
+                used_exemptions.add(mf.module)
+                continue
+            violations.append(
+                Violation(
+                    rule=RULE.name,
+                    path=mf.path,
+                    line=imp.line,
+                    message=(
+                        f"core module {mf.module} has a {imp.kind} import of "
+                        f"{hits[0]}; core/ depends only on "
+                        f"repro.core.protocols seams, never on "
+                        f"{', '.join(FORBIDDEN_PREFIXES)}"
+                    ),
+                )
+            )
+    for module in sorted(set(EXEMPTIONS) - used_exemptions):
+        path = ctx.files[module].path if module in ctx.files else module
+        violations.append(
+            Violation(
+                rule=RULE.name,
+                path=path,
+                line=1,
+                message=(
+                    f"stale layering exemption for {module}: it no longer "
+                    f"imports a forbidden layer; delete it from EXEMPTIONS"
+                ),
+            )
+        )
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="core-layering",
+        summary="repro.core must not import repro.db, repro.io, or repro.cli",
+        explanation=__doc__ or "",
+        check=check,
+    )
+)

@@ -38,6 +38,11 @@ from __future__ import annotations
 import json
 import os
 import sys
+from types import CodeType, FrameType
+from typing import Any, Callable, Optional
+
+#: A settrace-compatible local trace function (returns itself or None).
+TraceFunc = Callable[[FrameType, str, Any], "Optional[TraceFunc]"]
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_PREFIX = os.path.join(REPO, "src", "repro") + os.sep
@@ -91,10 +96,12 @@ def main() -> int:
             for path, lines in json.load(handle).items():
                 seen.setdefault(path, set()).update(lines)
     #: code objects whose lines are all covered — stop tracing them.
-    saturated: set = set()
-    remaining: dict = {}
+    saturated: set[CodeType] = set()
+    remaining: dict[CodeType, set[int]] = {}
 
-    def local_trace(frame, event, _arg):
+    def local_trace(
+        frame: FrameType, event: str, _arg: Any
+    ) -> "TraceFunc | None":
         if event != "line":
             return local_trace
         code = frame.f_code
@@ -112,7 +119,9 @@ def main() -> int:
             return None
         return local_trace
 
-    def global_trace(frame, event, _arg):
+    def global_trace(
+        frame: FrameType, event: str, _arg: Any
+    ) -> "TraceFunc | None":
         if event != "call":
             return None
         code = frame.f_code
