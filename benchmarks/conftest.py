@@ -39,9 +39,11 @@ def save_figure() -> SaveFigure:
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(figure: FigureResult) -> None:
+        from repro.io.atomic import atomic_write_text
+
         rendered = figure.render()
-        (RESULTS_DIR / f"{figure.figure_id}.txt").write_text(
-            rendered + "\n", encoding="utf-8"
+        atomic_write_text(
+            RESULTS_DIR / f"{figure.figure_id}.txt", rendered + "\n"
         )
         print(f"\n{rendered}\n", file=sys.stderr)
 

@@ -12,8 +12,9 @@ all emitted files share one envelope::
       "rows": [...]      # benchmark-specific measurements
     }
 
-Plain stdlib only — the bench scripts must run on machines without
-pytest/pytest-benchmark installed.
+No third-party dependencies — the bench scripts must run on machines
+without pytest/pytest-benchmark installed (the one non-stdlib import is
+:mod:`repro.io.atomic`, our own package, for torn-write-safe output).
 """
 
 from __future__ import annotations
@@ -50,7 +51,12 @@ def write_bench_json(
         "config": config,
         "rows": rows,
     }
-    with open(path, "w", encoding="utf-8") as handle:
+    # Imported here, not at module top: bench scripts put src/ on
+    # sys.path themselves, and doing it lazily keeps this module
+    # importable regardless of path-setup order.
+    from repro.io.atomic import atomic_writer
+
+    with atomic_writer(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print(f"wrote {path}")

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.io.atomic import atomic_write_text
+
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "benchmarks" / "results"
 EXPERIMENTS = ROOT / "EXPERIMENTS.md"
@@ -62,8 +64,8 @@ def main() -> None:
         sections.append(table_part(path.read_text(encoding="utf-8")))
         sections.append("```")
         sections.append("")
-    EXPERIMENTS.write_text(
-        content.rstrip() + "\n\n" + "\n".join(sections) + "\n", encoding="utf-8"
+    atomic_write_text(
+        EXPERIMENTS, content.rstrip() + "\n\n" + "\n".join(sections) + "\n"
     )
     print(f"EXPERIMENTS.md updated with {len(QUOTED)} recorded tables")
 

@@ -31,6 +31,7 @@ if TYPE_CHECKING:
         PartitionedTransformedDatabase,
     )
     from repro.db.transform import TransformedDatabase
+    from repro.io.checkpoint import CheckpointStore
     from repro.itemsets.litemsets import LitemsetCatalog
 
     def _occurrence_probes(
@@ -64,3 +65,7 @@ if TYPE_CHECKING:
 
     def _counting_engines() -> protocols.CountingEngine:
         return count_candidates
+
+    def _pass_checkpoints(store: CheckpointStore) -> protocols.PassCheckpoint:
+        """The durable pass store satisfies the counting-layer surface."""
+        return store

@@ -9,6 +9,12 @@ Subcommands:
   existing customers) to a partitioned database without rewriting it.
 * ``seqmine update`` — incremental re-mine from the saved state: count
   the retained frontier against the delta only (:mod:`repro.incremental`).
+* ``seqmine resume`` — restart a checkpointed ``mine`` run
+  (``mine --checkpoint-dir``) from its last durable counting pass,
+  producing byte-identical output to an uninterrupted run.
+* ``seqmine fsck`` — validate a partitioned-database directory and
+  repair what is repairable (quarantine damaged delta generations,
+  remove interrupted-write orphans and invalid caches).
 * ``seqmine info`` — dataset statistics (paper Table 2 columns).
 * ``seqmine experiment`` — regenerate a paper table/figure by id.
 
@@ -22,7 +28,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Sequence as PySequence
+from typing import Any, Sequence as PySequence
 
 from repro.analysis.compare import pattern_length_histogram
 from repro.miner import ALGORITHM_NAMES, MiningParams, MiningResult, mine
@@ -174,6 +180,13 @@ def _resolve_mine_database(
                 )
         return PartitionedDatabase.open(args.partition_dir)
     if os.path.exists(os.path.join(args.partition_dir, "manifest.json")):
+        if args.checkpoint_dir is not None:
+            # A checkpointed convert-and-mine whose earlier attempt got
+            # past the conversion: the manifest commit is atomic, so an
+            # existing manifest means a complete database — reuse it.
+            # Refusing here would make ``resume`` impossible for the
+            # convert-then-mine invocation shape.
+            return PartitionedDatabase.open(args.partition_dir)
         raise ValueError(
             f"{args.partition_dir} already holds a partitioned database; "
             f"mine it without --input to reuse it, or delete the "
@@ -214,11 +227,36 @@ def _emit_patterns(result: MiningResult, args: argparse.Namespace) -> None:
             print(pattern)
 
 
+#: Everything a ``mine`` run's outcome depends on, in one place: this is
+#: what a checkpoint stores as its configuration, and what ``resume``
+#: reconstructs the argument namespace from.
+_MINE_CONFIG_KEYS = (
+    "input", "format", "partition_dir", "partitions", "max_memory_mb",
+    "minsup", "algorithm", "dynamic_step", "max_length", "strategy",
+    "workers", "chunk_size", "output", "json", "save_state",
+)
+
+
+def _mine_run_config(args: argparse.Namespace) -> dict[str, Any]:
+    config: dict[str, Any] = {
+        key: getattr(args, key) for key in _MINE_CONFIG_KEYS
+    }
+    config["command"] = "mine"
+    return config
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     if args.save_state and args.partition_dir is None:
         raise ValueError(
             "--save-state requires --partition-dir: the snapshot is "
             "serialized next to the partition manifest"
+        )
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        from repro.io.checkpoint import CheckpointStore
+
+        checkpoint = CheckpointStore.attach(
+            args.checkpoint_dir, _mine_run_config(args)
         )
     db = _resolve_mine_database(args)
     params = MiningParams(
@@ -230,10 +268,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             workers=args.workers,
             chunk_size=args.chunk_size,
+            checkpoint=checkpoint,
         ),
     )
     result = mine(db, params, collect_state=args.save_state)
     print(result.summary(), file=sys.stderr)
+    if checkpoint is not None:
+        print(
+            f"checkpoint {checkpoint.directory}: replayed "
+            f"{checkpoint.num_replayed} recorded passes, counted and "
+            f"recorded {checkpoint.num_recorded} new",
+            file=sys.stderr,
+        )
     if args.save_state:
         from repro.io.state import write_mining_state
 
@@ -304,6 +350,32 @@ def _cmd_update(args: argparse.Namespace) -> int:
     print(f"updated mining state at {state_path} "
           f"(generation {outcome.state.generation})", file=sys.stderr)
     _emit_patterns(outcome.result, args)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.io.checkpoint import CheckpointStore
+
+    config = CheckpointStore.read_config(args.checkpoint_dir)
+    missing = [key for key in _MINE_CONFIG_KEYS if key not in config]
+    if config.get("command") != "mine" or missing:
+        raise ValueError(
+            f"{args.checkpoint_dir}: checkpoint does not describe a "
+            f"resumable 'mine' run"
+        )
+    mine_args = argparse.Namespace(
+        **{key: config[key] for key in _MINE_CONFIG_KEYS},
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    return _cmd_mine(mine_args)
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.db.fsck import fsck_directory
+
+    report = fsck_directory(args.directory)
+    for line in report.lines():
+        print(line)
     return 0
 
 
@@ -409,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "scanning strategies, candidates for "
                           "--strategy vertical, partitions with "
                           "--partition-dir")
+    mine_cmd.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                          help="record each completed counting pass "
+                          "durably in DIR; after a crash, 'seqmine "
+                          "resume --checkpoint-dir DIR' restarts from "
+                          "the last durable pass and produces "
+                          "byte-identical output")
     mine_cmd.add_argument("--output", default=None,
                           help="write patterns to this file instead of stdout")
     mine_cmd.add_argument("--json", action="store_true",
@@ -471,6 +549,27 @@ def build_parser() -> argparse.ArgumentParser:
     update_cmd.add_argument("--json", action="store_true",
                             help="print patterns as JSON")
     update_cmd.set_defaults(func=_cmd_update)
+
+    resume_cmd = sub.add_parser(
+        "resume",
+        help="restart an interrupted 'mine --checkpoint-dir' run from "
+        "its last durable counting pass")
+    resume_cmd.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                            help="checkpoint directory of the "
+                            "interrupted run; the full mine "
+                            "configuration is restored from it")
+    resume_cmd.set_defaults(func=_cmd_resume)
+
+    fsck_cmd = sub.add_parser(
+        "fsck",
+        help="validate a partitioned-database directory and repair "
+        "what is repairable")
+    fsck_cmd.add_argument("directory",
+                          help="directory holding the partitioned "
+                          "database; damaged delta generations are "
+                          "quarantined (*.quarantined), interrupted "
+                          "writes and invalid caches removed")
+    fsck_cmd.set_defaults(func=_cmd_fsck)
 
     info = sub.add_parser("info", help="print dataset statistics")
     info.add_argument("--input", required=True)

@@ -65,11 +65,13 @@ from repro.core.hashtree import (
 # Canonical homes of the strategy alphabet and of the seam aliases are in
 # repro.core.protocols; re-exported here because the rest of the package
 # historically imports them from the counting module.
+from repro.core.passkey import pass_digest
 from repro.core.protocols import (
     COUNTING_STRATEGIES,
     CandidateParents,
     CountingStrategy,
     PartitionedCountable,
+    PassCheckpoint,
     SupportCounts,
     TransformedSequence,
     TransformedSequences,
@@ -135,6 +137,7 @@ def count_candidates(
     workers: int = 1,
     chunk_size: int | None = None,
     parents: CandidateParents | None = None,
+    checkpoint: PassCheckpoint | None = None,
 ) -> dict[IdSequence, int]:
     """Count customer support of every candidate in one database pass.
 
@@ -149,7 +152,29 @@ def count_candidates(
     derives the parentage by slicing, so callers that only kept the
     candidates (the backward phase, raw engine calls) need no extra
     bookkeeping.
+
+    ``checkpoint`` plugs in the durable pass store: a pass already on
+    disk is replayed instead of counted, a freshly counted pass is
+    recorded before returning. Consulted *before* any work — including
+    the workers dispatch, so a replayed pass spawns no pool.
     """
+    if checkpoint is not None:
+        key = pass_digest("candidates", candidates)
+        cached = checkpoint.replay("candidates", key)
+        if cached is not None:
+            return cached
+        counts = count_candidates(
+            sequences,
+            candidates,
+            strategy=strategy,
+            leaf_capacity=leaf_capacity,
+            branch_factor=branch_factor,
+            workers=workers,
+            chunk_size=chunk_size,
+            parents=parents,
+        )
+        checkpoint.record("candidates", key, counts)
+        return counts
     if workers != 1:
         from repro.parallel.executor import parallel_count_candidates
 
@@ -304,6 +329,7 @@ def count_length2(
     *,
     workers: int = 1,
     chunk_size: int | None = None,
+    checkpoint: PassCheckpoint | None = None,
 ) -> dict[IdSequence, int]:
     """Fast path for the length-2 pass.
 
@@ -327,7 +353,18 @@ def count_length2(
     :func:`count_candidates`. A vertical-prepared database is unwrapped
     to its compiled form first — the occurring-pairs sweep is inherently
     per-customer, and the inversion keeps the compiled form alongside.
+    ``checkpoint`` replays/records the pass as in
+    :func:`count_candidates`; its input is the whole database, so the
+    pass identity is the constant empty key set.
     """
+    if checkpoint is not None:
+        key = pass_digest("length2", ())
+        cached = checkpoint.replay("length2", key)
+        if cached is not None:
+            return cached
+        counts = count_length2(sequences, workers=workers, chunk_size=chunk_size)
+        checkpoint.record("length2", key, counts)
+        return counts
     if isinstance(sequences, VerticalDatabase):
         sequences = sequences.compiled
     if workers != 1:

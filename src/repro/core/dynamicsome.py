@@ -22,6 +22,7 @@ is why DynamicSome loses badly at low minimum supports.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Collection, Sequence as PySequence, cast
 
 from repro.core.backward import backward_phase
@@ -34,6 +35,7 @@ from repro.core.counting import (
     filter_large,
 )
 from repro.core.hashtree import SequenceHashTree
+from repro.core.passkey import pass_digest
 from repro.core.phase import CountingOptions, SequencePhaseResult
 from repro.core.protocols import (
     PartitionedCountable,
@@ -267,7 +269,21 @@ def _count_on_the_fly(
     pass one prepared partition at a time and sums the counts (customer
     support is additive across disjoint partitions) — the head/tail hash
     trees are built once and scan every partition.
+
+    When a checkpoint store is attached to ``counting``, the pass is
+    replayed/recorded like every other counting pass; its identity is
+    the digest over both input sets (heads and tails).
     """
+    if counting.checkpoint is not None:
+        key = pass_digest("onthefly", list(large_k) + list(large_step))
+        cached = counting.checkpoint.replay("onthefly", key)
+        if cached is not None:
+            return cached
+        counts = _count_on_the_fly(
+            sequences, large_k, large_step, replace(counting, checkpoint=None)
+        )
+        counting.checkpoint.record("onthefly", key, counts)
+        return counts
     if isinstance(sequences, VerticalDatabase):
         return count_on_the_fly_vertical(sequences, large_k, large_step)
     if isinstance(sequences, PartitionedCountable) and sequences.strategy == "vertical":

@@ -22,7 +22,7 @@ from repro.core.counting import (
     TransformedSequences,
 )
 from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
-from repro.core.protocols import PartitionedCountable
+from repro.core.protocols import PartitionedCountable, PassCheckpoint
 from repro.core.sequence import IdSequence
 from repro.core.stats import AlgorithmStats
 from repro.core.vertical import VerticalDatabase, ensure_vertical
@@ -47,6 +47,13 @@ class CountingOptions:
     optionally fixes the items-per-shard (default: one near-equal shard
     per worker). Counts are identical for every setting; only wall-clock
     time changes. See :mod:`repro.parallel`.
+
+    ``checkpoint`` (``None`` by default — zero cost when unused) plugs a
+    durable pass store (:class:`~repro.core.protocols.PassCheckpoint`)
+    into every counting pass: completed passes are recorded as they
+    finish and replayed in order on resume, which is what backs
+    ``seqmine mine --checkpoint-dir`` / ``seqmine resume``. It changes
+    no counts, only whether a pass is recomputed.
     """
 
     strategy: CountingStrategy = "hashtree"
@@ -54,6 +61,7 @@ class CountingOptions:
     branch_factor: int = DEFAULT_BRANCH_FACTOR
     workers: int = 1
     chunk_size: int | None = None
+    checkpoint: PassCheckpoint | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in COUNTING_STRATEGIES:
@@ -124,12 +132,17 @@ class CountingOptions:
             "branch_factor": self.branch_factor,
             "workers": self.workers,
             "chunk_size": self.chunk_size,
+            "checkpoint": self.checkpoint,
         }
 
     def sharding_kwargs(self) -> dict[str, Any]:
         """Keyword arguments for passes that only shard (no strategy knobs),
         like :func:`repro.core.counting.count_length2`."""
-        return {"workers": self.workers, "chunk_size": self.chunk_size}
+        return {
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "checkpoint": self.checkpoint,
+        }
 
 
 @dataclass(slots=True)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import (
     TYPE_CHECKING,
+    Any,
     Collection,
     Iterable,
     Iterator,
@@ -56,6 +57,7 @@ __all__ = [
     "LitemsetCatalogLike",
     "OccurrenceProbe",
     "PartitionedCountable",
+    "PassCheckpoint",
     "SequenceDatabaseLike",
     "SupportCounts",
     "TransformedSequence",
@@ -276,6 +278,39 @@ class TransformedView(Protocol):
 
 
 # --------------------------------------------------------------------- #
+# The checkpoint surface (durable pass-by-pass resume)
+# --------------------------------------------------------------------- #
+
+
+class PassCheckpoint(Protocol):
+    """Durable memo of completed counting passes, replayed strictly in
+    order.
+
+    Satisfied by :class:`repro.io.checkpoint.CheckpointStore`. The
+    counting engines consult it at the top of every pass: ``replay``
+    returns the recorded counts if this exact pass (same kind, same
+    input digest — see :mod:`repro.core.passkey`) is next in the stored
+    sequence, ``None`` once the stored passes are exhausted (the run has
+    caught up and must count for real), and raises if the resumed run
+    diverged from the recording. ``record`` durably appends one freshly
+    counted pass. Counts round-trip exactly, **insertion order
+    included**, which is what makes a resumed run's downstream output
+    byte-identical to an uninterrupted one.
+
+    Keys are typed ``Any`` because pass kinds disagree: the raw-item
+    pass counts ``int`` keys, every other pass counts id tuples.
+    """
+
+    def replay(self, kind: str, key: str) -> dict[Any, int] | None:
+        """Counts of the next stored pass, or ``None`` past the end."""
+        ...
+
+    def record(self, kind: str, key: str, counts: Mapping[Any, int]) -> None:
+        """Durably append one completed pass."""
+        ...
+
+
+# --------------------------------------------------------------------- #
 # The counting-engine surface
 # --------------------------------------------------------------------- #
 
@@ -303,6 +338,7 @@ class CountingEngine(Protocol):
         workers: int = ...,
         chunk_size: int | None = ...,
         parents: CandidateParents | None = ...,
+        checkpoint: PassCheckpoint | None = ...,
     ) -> SupportCounts: ...
 
 

@@ -67,6 +67,7 @@ from repro.db.database import (
     SequenceDatabase,
     support_threshold,
 )
+from repro.io.atomic import atomic_writer
 from repro.io.binlog import BinlogReader, BinlogWriter
 
 MANIFEST_NAME = "manifest.json"
@@ -79,7 +80,10 @@ MINING_STATE_NAME = "mining_state.json"
 
 
 def _write_manifest(path: Path, manifest: dict) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
+    # The manifest is the database's commit record: an append becomes
+    # visible exactly when this replace lands, so it must be atomic — a
+    # torn manifest would poison every later open/append/update.
+    with atomic_writer(path, "w") as handle:
         json.dump(manifest, handle, indent=2)
         handle.write("\n")
 
@@ -888,7 +892,10 @@ class PartitionedSequences:
                 compiled = CompiledDatabase.compile(
                     list(self.iter_partition(index))
                 )
-                with open(cache, "wb") as handle:
+                # Atomic: load_prepared dispatches on cache.exists(), so
+                # a half-written pickle must never be visible under the
+                # final name (a crashed prepare() simply recompiles).
+                with atomic_writer(cache, "wb") as handle:
                     pickle.dump(compiled, handle, protocol=pickle.HIGHEST_PROTOCOL)
         return self
 

@@ -27,9 +27,15 @@ _EXPORTS = {
     "BinlogFormatError": "repro.io.binlog",
     "BinlogReader": "repro.io.binlog",
     "BinlogWriter": "repro.io.binlog",
+    "CheckpointError": "repro.io.checkpoint",
+    "CheckpointStore": "repro.io.checkpoint",
     "MiningStateError": "repro.io.state",
     "PatternFormatError": "repro.io.patterns",
     "SpmfFormatError": "repro.io.spmf",
+    "atomic_write_bytes": "repro.io.atomic",
+    "atomic_write_json": "repro.io.atomic",
+    "atomic_write_text": "repro.io.atomic",
+    "atomic_writer": "repro.io.atomic",
     "iter_spmf": "repro.io.spmf",
     "patterns_from_json": "repro.io.patterns",
     "patterns_to_json": "repro.io.patterns",

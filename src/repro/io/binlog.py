@@ -23,8 +23,9 @@ Layout::
     | uvarint num_records|  the partition index: every record's byte
     | uvarint gap*       |  offset, delta-encoded (first gap is from
     +--------------------+  offset 5)
-    | index_offset  8 LE |  fixed 16-byte footer
-    | magic b"SQBLend\n" |
+    | crc32         4 LE |  fixed 20-byte footer (version 2): CRC-32 of
+    | index_offset  8 LE |  the record region [5, index_offset), then
+    | magic b"SQBLend\n" |  the index offset, then the magic tail
     +--------------------+
 
 All integers (ids, items, counts) must be non-negative; items within an
@@ -33,20 +34,35 @@ record round-trips the canonical itemset form exactly. The footer makes
 ``len()`` and truncation detection O(1): a file whose tail is missing or
 whose index disagrees with the records raises :class:`BinlogFormatError`
 naming the file and the offending offset.
+
+Version 2 (this release) adds the record-region CRC-32 to the footer so
+bit rot *inside* records — which can decode into plausible-but-wrong
+data the structural checks cannot catch — is detectable. Opening stays
+O(1): the CRC is checked only by :meth:`BinlogReader.verify`, which
+``seqmine fsck`` runs over every file. Version-1 files (no CRC, 16-byte
+footer) still read fine; :attr:`BinlogReader.crc32` is ``None`` for
+them and ``verify`` falls back to a full structural decode.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
 from types import TracebackType
 from typing import Iterable, Iterator, Sequence as PySequence
 
+from repro.io.fsops import fs_fsync, fs_open
+
 MAGIC = b"SQBL"
-VERSION = 1
+VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 HEADER = MAGIC + bytes([VERSION])
 FOOTER_MAGIC = b"SQBLend\n"
-FOOTER_SIZE = 8 + len(FOOTER_MAGIC)
+#: Version-2 footer: crc32 (4 LE) + index_offset (8 LE) + magic.
+FOOTER_SIZE = 4 + 8 + len(FOOTER_MAGIC)
+#: Version-1 footer: index_offset (8 LE) + magic.
+FOOTER_SIZE_V1 = 8 + len(FOOTER_MAGIC)
 
 #: One decoded record: (customer_id, events), events canonical
 #: (ascending items, tuple-of-tuples).
@@ -121,7 +137,7 @@ class BinlogWriter:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        with open(self.path, "wb") as handle:
+        with fs_open(self.path, "wb") as handle:
             handle.write(HEADER)
         self._buffer = bytearray()
         # The record index, delta-encoded incrementally as records are
@@ -129,6 +145,9 @@ class BinlogWriter:
         # writer memory stays O(flush buffer + index bytes), not
         # O(records * sizeof(int)).
         self._index = bytearray()
+        # Record-region CRC-32, folded in per appended payload so the
+        # footer checksum costs no extra pass over the data.
+        self._crc = 0
         self._num_records = 0
         self._previous_offset = len(HEADER)
         self._position = len(HEADER)
@@ -144,14 +163,17 @@ class BinlogWriter:
         self._previous_offset = self._position
         self._num_records += 1
         self._buffer += payload
+        self._crc = zlib.crc32(payload, self._crc)
         self._position += len(payload)
         if len(self._buffer) >= WRITER_FLUSH_BYTES:
             self._flush()
 
-    def _flush(self) -> None:
-        if self._buffer:
-            with open(self.path, "ab") as handle:
+    def _flush(self, *, sync: bool = False) -> None:
+        if self._buffer or sync:
+            with fs_open(self.path, "ab") as handle:
                 handle.write(self._buffer)
+                if sync:
+                    fs_fsync(handle)
             self._buffer.clear()
 
     @property
@@ -164,9 +186,10 @@ class BinlogWriter:
         index_offset = self._position
         self._buffer += encode_uvarint(self._num_records)
         self._buffer += self._index
+        self._buffer += self._crc.to_bytes(4, "little")
         self._buffer += index_offset.to_bytes(8, "little")
         self._buffer += FOOTER_MAGIC
-        self._flush()
+        self._flush(sync=True)
         self._closed = True
 
     def abort(self) -> None:
@@ -232,7 +255,7 @@ class BinlogReader:
             size = os.path.getsize(self.path)
         except OSError as exc:
             raise BinlogFormatError(f"{self.path}: cannot open: {exc}") from exc
-        if size < len(HEADER) + FOOTER_SIZE:
+        if size < len(HEADER) + FOOTER_SIZE_V1:
             raise BinlogFormatError(
                 f"{self.path}: truncated at offset {size}: file shorter "
                 f"than header plus footer"
@@ -243,27 +266,40 @@ class BinlogReader:
                 raise BinlogFormatError(
                     f"{self.path}: bad magic at offset 0: not a binlog file"
                 )
-            if header[len(MAGIC)] != VERSION:
+            self.version = header[len(MAGIC)]
+            if self.version not in SUPPORTED_VERSIONS:
                 raise BinlogFormatError(
-                    f"{self.path}: unsupported version {header[len(MAGIC)]} "
+                    f"{self.path}: unsupported version {self.version} "
                     f"at offset {len(MAGIC)}"
                 )
-            handle.seek(size - FOOTER_SIZE)
-            footer = handle.read(FOOTER_SIZE)
-            if footer[8:] != FOOTER_MAGIC:
+            footer_size = FOOTER_SIZE if self.version >= 2 else FOOTER_SIZE_V1
+            if size < len(HEADER) + footer_size:
+                raise BinlogFormatError(
+                    f"{self.path}: truncated at offset {size}: file shorter "
+                    f"than header plus footer"
+                )
+            handle.seek(size - footer_size)
+            footer = handle.read(footer_size)
+            if footer[-len(FOOTER_MAGIC):] != FOOTER_MAGIC:
                 raise BinlogFormatError(
                     f"{self.path}: truncated at offset "
                     f"{size - len(FOOTER_MAGIC)}: footer magic missing"
                 )
+            #: Footer CRC-32 of the record region; ``None`` for
+            #: version-1 files, which carry no checksum.
+            self.crc32: int | None = None
+            if self.version >= 2:
+                self.crc32 = int.from_bytes(footer[:4], "little")
+                footer = footer[4:]
             self._index_offset = int.from_bytes(footer[:8], "little")
-            if not len(HEADER) <= self._index_offset <= size - FOOTER_SIZE:
+            if not len(HEADER) <= self._index_offset <= size - footer_size:
                 raise BinlogFormatError(
                     f"{self.path}: corrupt footer at offset "
-                    f"{size - FOOTER_SIZE}: index offset "
+                    f"{size - footer_size}: index offset "
                     f"{self._index_offset} out of range"
                 )
             handle.seek(self._index_offset)
-            index = handle.read(size - FOOTER_SIZE - self._index_offset)
+            index = handle.read(size - footer_size - self._index_offset)
         try:
             self._num_records, consumed = decode_uvarint(index, 0)
         except IndexError:
@@ -284,6 +320,41 @@ class BinlogReader:
 
     def __iter__(self) -> Iterator[BinlogRecord]:
         return self.records()
+
+    def verify(self) -> int:
+        """Fully validate the file; returns the record count.
+
+        For version-2 files the record region is re-hashed and compared
+        against the footer CRC-32 — this is the check that catches bit
+        rot *inside* records, which structural decoding can miss. Every
+        record is then structurally decoded (all versions). O(file
+        size); ``seqmine fsck`` runs this, plain opens do not.
+        """
+        if self.crc32 is not None:
+            crc = 0
+            position = len(HEADER)
+            with open(self.path, "rb") as handle:
+                handle.seek(position)
+                remaining = self._index_offset - position
+                while remaining:
+                    chunk = handle.read(min(remaining, 1 << 20))
+                    if not chunk:
+                        raise BinlogFormatError(
+                            f"{self.path}: truncated record region at "
+                            f"offset {self._index_offset - remaining}"
+                        )
+                    crc = zlib.crc32(chunk, crc)
+                    remaining -= len(chunk)
+            if crc != self.crc32:
+                raise BinlogFormatError(
+                    f"{self.path}: checksum mismatch over records "
+                    f"5..{self._index_offset}: footer says "
+                    f"{self.crc32:#010x}, records hash to {crc:#010x}"
+                )
+        count = 0
+        for _ in self.records():
+            count += 1
+        return count
 
     def _record_spans(self) -> Iterator[tuple[int, int]]:
         """Each record's ``(start, end)`` byte span, decoded lazily from

@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, TextIO
 
 from repro.db.database import SequenceDatabase
 from repro.db.records import RecordError, Transaction
+from repro.io.atomic import atomic_writer
 
 HEADER = ("customer_id", "transaction_time", "items")
 
@@ -72,7 +73,7 @@ def write_transactions_csv(
 ) -> int:
     """Write transactions; returns data rows written."""
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8", newline="") as handle:
+        with atomic_writer(target, "w", newline="") as handle:
             return write_transactions_csv(transactions, handle)
     writer = csv.writer(target)
     writer.writerow(HEADER)

@@ -1,0 +1,102 @@
+"""The filesystem seam under every durable write.
+
+Every persistent artifact in the package — binlog partitions, manifests,
+mining-state snapshots, checkpoint passes, pattern output — reaches the
+operating system through the three wrappers here instead of calling
+``open``/``os.replace``/``os.fsync`` directly. In production the
+wrappers are transparent; their value is the *hook*: an installed
+:data:`FsHook` observes every durable I/O operation (in program order,
+with its operation name and path) and may raise, which is how the
+deterministic fault-injection layer (:mod:`repro.testing.faults`)
+simulates an ``OSError`` or a process crash at exactly the Nth write of
+a run. Keeping the seam in one tiny module means the chaos tests
+exercise the *real* write paths — no monkeypatching of builtins, no
+divergence between what is tested and what runs.
+
+Read paths deliberately bypass the seam: a failed read is an ordinary
+``OSError`` the CLI already surfaces cleanly, and tracing reads would
+bloat the fault-injection schedule without adding crash states (a crash
+during a read leaves the directory untouched).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO, Any, Callable
+
+__all__ = [
+    "FsHook",
+    "fs_fsync",
+    "fs_open",
+    "fs_replace",
+    "fsync_dir",
+    "install_hook",
+    "remove_hook",
+]
+
+#: An observer of durable I/O operations: called as ``hook(op, path)``
+#: with ``op`` in ``{"open", "replace", "fsync", "fsync_dir"}`` *before*
+#: the operation runs. A hook may raise to simulate the operation
+#: failing (``OSError``) or the process dying mid-write
+#: (:class:`repro.testing.faults.SimulatedCrash`).
+FsHook = Callable[[str, str], None]
+
+_hooks: list[FsHook] = []
+
+
+def install_hook(hook: FsHook) -> None:
+    """Register ``hook`` to observe every subsequent durable I/O op."""
+    _hooks.append(hook)
+
+
+def remove_hook(hook: FsHook) -> None:
+    """Unregister a previously installed hook (no-op if absent)."""
+    try:
+        _hooks.remove(hook)
+    except ValueError:
+        pass
+
+
+def _trace(op: str, path: str | Path) -> None:
+    for hook in list(_hooks):
+        hook(op, str(path))
+
+
+def fs_open(path: str | Path, mode: str = "r", **kwargs: Any) -> IO[Any]:
+    """``open`` for a durable write path, visible to installed hooks."""
+    _trace("open", path)
+    return open(path, mode, **kwargs)
+
+
+def fs_replace(source: str | Path, target: str | Path) -> None:
+    """``os.replace`` — the atomic commit point — visible to hooks."""
+    _trace("replace", target)
+    os.replace(source, target)
+
+
+def fs_fsync(handle: IO[Any]) -> None:
+    """Flush ``handle`` and fsync its descriptor, visible to hooks."""
+    _trace("fsync", str(getattr(handle, "name", "<handle>")))
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_dir(directory: str | Path) -> None:
+    """fsync a directory so a just-committed rename survives power loss.
+
+    Platforms whose directory handles reject ``fsync`` (some network
+    filesystems; Windows) degrade silently — the rename itself is still
+    atomic, only its durability-across-power-loss is best-effort there.
+    """
+    _trace("fsync_dir", directory)
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -15,6 +15,7 @@ import json
 from pathlib import Path
 from typing import Iterable, TextIO
 
+from repro.io.atomic import atomic_writer
 from repro.miner import Pattern
 from repro.core.sequence import Sequence, format_sequence, parse_sequence
 
@@ -54,7 +55,7 @@ def write_patterns(
 ) -> int:
     """Write patterns as text; returns lines written."""
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
+        with atomic_writer(target, "w") as handle:
             return write_patterns(patterns, handle)
     written = 0
     for pattern in patterns:

@@ -19,6 +19,7 @@ from typing import Iterable, Iterator, TextIO
 
 from repro.core.sequence import Itemset
 from repro.db.database import CustomerSequence, SequenceDatabase
+from repro.io.atomic import atomic_writer
 
 
 class SpmfFormatError(ValueError):
@@ -106,7 +107,7 @@ def write_spmf(
 ) -> int:
     """Write customer sequences in SPMF format; returns lines written."""
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
+        with atomic_writer(target, "w") as handle:
             return write_spmf(db, handle)
     written = 0
     for customer in db:

@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 
 from repro.core.sequence import Itemset
+from repro.io.atomic import atomic_writer
 from repro.incremental.state import (
     STATE_FORMAT,
     STATE_VERSION,
@@ -81,7 +82,9 @@ def write_mining_state(state: MiningState, path: str | Path) -> None:
             for sequence, count in sorted(state.sequence_counts.items())
         },
     }
-    with open(path, "w", encoding="utf-8") as handle:
+    # Atomic replacement: a crash mid-serialization must never leave a
+    # torn snapshot that poisons every later `update` (see repro.io.atomic).
+    with atomic_writer(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
 

@@ -19,7 +19,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
-from repro.core.protocols import CustomerRecord, SequenceDatabaseLike
+from repro.core.passkey import pass_digest
+from repro.core.protocols import CustomerRecord, PassCheckpoint, SequenceDatabaseLike
 from repro.core.sequence import Itemset
 from repro.itemsets.hashtree import (
     DEFAULT_BRANCH_FACTOR,
@@ -133,25 +134,24 @@ def count_itemset_supports(
     return counts
 
 
-def find_litemsets(
-    db: SequenceDatabaseLike,
-    minsup: float,
-    *,
-    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
-    branch_factor: int = DEFAULT_BRANCH_FACTOR,
-    max_length: int | None = None,
-) -> LitemsetResult:
-    """Run the litemset phase: all itemsets with customer-support ≥ minsup.
+def _count_items(
+    db: SequenceDatabaseLike, checkpoint: PassCheckpoint | None
+) -> Counter[int]:
+    """Pass 1: customer support of every single item, checkpointed.
 
-    ``max_length`` optionally caps the itemset size (useful in stress tests
-    on pathological dense data); ``None`` mines to fixpoint as the paper
-    does.
+    The pass input is the whole database (no candidate set), so its
+    checkpoint identity is the constant empty key set. The counter's
+    insertion (first-seen) order is preserved through replay — it feeds
+    the mining-state snapshot, which must be byte-identical on resume.
     """
-    threshold = db.threshold(minsup)
-    supports: dict[Itemset, int] = {}
-    passes: list[LitemsetPassStats] = []
-    counted_supports: dict[Itemset, int] = {}
-
+    if checkpoint is not None:
+        key = pass_digest("items", ())
+        cached = checkpoint.replay("items", key)
+        if cached is not None:
+            return Counter(cached)
+        item_counts = _count_items(db, None)
+        checkpoint.record("items", key, item_counts)
+        return item_counts
     item_counts: Counter[int] = Counter()
     for customer in _iter_customers(db):
         seen: set[int] = set()
@@ -159,6 +159,65 @@ def find_litemsets(
             seen.update(event)
         for item in seen:
             item_counts[item] += 1
+    return item_counts
+
+
+def _count_itemsets_checkpointed(
+    db: SequenceDatabaseLike,
+    candidates: list[Itemset],
+    *,
+    leaf_capacity: int,
+    branch_factor: int,
+    checkpoint: PassCheckpoint | None,
+) -> Counter[Itemset]:
+    """One per-level candidate pass, replayed or recorded when a
+    checkpoint store is attached. Only contained candidates carry
+    entries (``Counter`` answers 0 for the rest) — true for the fresh
+    and the replayed result alike."""
+    if checkpoint is None:
+        return count_itemset_supports(
+            db, candidates, leaf_capacity=leaf_capacity, branch_factor=branch_factor
+        )
+    key = pass_digest("itemsets", candidates)
+    cached = checkpoint.replay("itemsets", key)
+    if cached is not None:
+        return Counter(cached)
+    counts = _count_itemsets_checkpointed(
+        db,
+        candidates,
+        leaf_capacity=leaf_capacity,
+        branch_factor=branch_factor,
+        checkpoint=None,
+    )
+    checkpoint.record("itemsets", key, counts)
+    return counts
+
+
+def find_litemsets(
+    db: SequenceDatabaseLike,
+    minsup: float,
+    *,
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    branch_factor: int = DEFAULT_BRANCH_FACTOR,
+    max_length: int | None = None,
+    checkpoint: PassCheckpoint | None = None,
+) -> LitemsetResult:
+    """Run the litemset phase: all itemsets with customer-support ≥ minsup.
+
+    ``max_length`` optionally caps the itemset size (useful in stress tests
+    on pathological dense data); ``None`` mines to fixpoint as the paper
+    does. ``checkpoint`` optionally plugs in the durable pass store
+    (see :class:`~repro.core.protocols.PassCheckpoint`): the raw-item
+    scan and each per-level candidate pass are recorded as they
+    complete, and replayed in order on resume — full counts, negative
+    border included, so the resumed result is identical.
+    """
+    threshold = db.threshold(minsup)
+    supports: dict[Itemset, int] = {}
+    passes: list[LitemsetPassStats] = []
+    counted_supports: dict[Itemset, int] = {}
+
+    item_counts = _count_items(db, checkpoint)
     current_large = sorted(
         (item,) for item, count in item_counts.items() if count >= threshold
     )
@@ -175,8 +234,12 @@ def find_litemsets(
         candidates = generate_candidate_itemsets(current_large)
         if not candidates:
             break
-        counts = count_itemset_supports(
-            db, candidates, leaf_capacity=leaf_capacity, branch_factor=branch_factor
+        counts = _count_itemsets_checkpointed(
+            db,
+            candidates,
+            leaf_capacity=leaf_capacity,
+            branch_factor=branch_factor,
+            checkpoint=checkpoint,
         )
         for candidate in candidates:
             counted_supports[candidate] = counts[candidate]

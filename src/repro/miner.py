@@ -204,7 +204,10 @@ def mine(
 
     started = time.perf_counter()
     litemset_result = find_litemsets(
-        db, params.minsup, max_length=params.max_litemset_size
+        db,
+        params.minsup,
+        max_length=params.max_litemset_size,
+        checkpoint=params.counting.checkpoint,
     )
     litemset_seconds = time.perf_counter() - started
 

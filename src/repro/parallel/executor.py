@@ -51,6 +51,14 @@ set, worker count, and strategy, the merged counts equal the serial
 engine's output exactly. ``workers == 1`` (or a single shard) never
 spawns a pool at all — it falls through to the serial engine in-process.
 
+Worker loss is survived, not fatal: shards are dispatched as individual
+futures, a died-worker (``BrokenProcessPool``) or failing shard is
+re-dispatched with exponential backoff up to ``SHARD_MAX_ATTEMPTS``
+times — through a fresh pool when the old one broke — and a shard that
+keeps failing degrades to in-process serial counting. Retries and
+degradations are logged on ``repro.parallel``; merged counts are
+identical either way (see :func:`_run_sharded`).
+
 Passes hand their state to forked workers through module globals
 (``_SEQUENCES``/``_STATE``), so at most one counting pass may be in
 flight per parent process at a time. The library itself always counts
@@ -61,15 +69,20 @@ threads.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
     Collection,
     Sequence as PySequence,
+    cast,
 )
 
 from repro.core.hashtree import DEFAULT_BRANCH_FACTOR, DEFAULT_LEAF_CAPACITY
@@ -77,11 +90,20 @@ from repro.parallel.sharding import merge_counts, shard_bounds
 
 if TYPE_CHECKING:
     from multiprocessing.context import BaseContext
-    from multiprocessing.pool import Pool
 
     from repro.core.counting import CountableSequences
     from repro.core.protocols import CandidateParents, CountingStrategy, IdSequence
     from repro.extensions.timeconstraints import TimeConstraints
+
+#: Dispatch attempts per shard (first try included) before the shard
+#: degrades to in-process serial counting.
+SHARD_MAX_ATTEMPTS = 3
+
+#: Base delay between re-dispatch rounds; doubles every round. Tests
+#: monkeypatch it to 0.
+SHARD_BACKOFF_SECONDS = 0.05
+
+_LOGGER = logging.getLogger("repro.parallel")
 
 #: The sequence list of the pass in flight. In the parent it is set just
 #: before the pool forks (children inherit it copy-on-write) and cleared
@@ -117,10 +139,13 @@ def _context() -> "BaseContext":
 
 def _pool(
     context: "BaseContext", workers: int, initargs: tuple[Any, ...]
-) -> "Pool":
+) -> ProcessPoolExecutor:
     """Create the worker pool (separated out so tests can intercept it)."""
-    return context.Pool(
-        processes=workers, initializer=_init_worker, initargs=initargs
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=initargs,
     )
 
 
@@ -135,10 +160,24 @@ def _run_sharded(sequences: Any, workers: int, chunk_size: int | None,
                  kind: str, state: tuple[Any, ...],
                  task: "Callable[[tuple[int, int]], dict]", *,
                  num_items: int | None = None) -> list[dict]:
-    """Map ``task`` over shard bounds in a fresh worker pool.
+    """Map ``task`` over shard bounds in a fresh worker pool, surviving
+    worker loss.
 
     Bounds cover the customers by default; ``num_items`` overrides the
     sharded dimension (the vertical pass shards candidates instead).
+
+    Fault tolerance: each shard is submitted as its own future, so a
+    lost worker (OOM kill, crash — surfacing as ``BrokenProcessPool``)
+    or a shard-level exception fails only the shards that were in
+    flight, not the pass. Failed shards are re-dispatched — through a
+    fresh pool when the old one broke — with exponential backoff
+    between rounds, up to ``SHARD_MAX_ATTEMPTS`` dispatch attempts per
+    shard; a shard that keeps failing degrades to in-process serial
+    counting (a deterministic error then propagates from there with its
+    real traceback). Every retry and degradation is logged on the
+    ``repro.parallel`` logger — never silent — and merged counts are
+    identical to a clean run because a shard's counts are recorded only
+    once, on success. Pool *creation* errors propagate untouched.
     """
     global _SEQUENCES
     bounds = shard_bounds(
@@ -148,12 +187,66 @@ def _run_sharded(sequences: Any, workers: int, chunk_size: int | None,
     context = _context()
     ship = context.get_start_method() != "fork"
     _SEQUENCES = sequences
+    # The parent holds the per-pass state too (forked children inherit
+    # it; spawned ones get it via the initializer) so a degraded shard
+    # can run ``task`` in-process.
+    _STATE[kind] = state
+    initargs = (sequences if ship else None, kind, state)
+    results: list[dict | None] = [None] * len(bounds)
+    pool = _pool(context, workers, initargs)
     try:
-        initargs = (sequences if ship else None, kind, state)
-        with _pool(context, workers, initargs) as pool:
-            return pool.map(task, bounds)
+        todo = list(range(len(bounds)))
+        attempts = [0] * len(bounds)
+        round_number = 0
+        while todo:
+            futures = [(index, pool.submit(task, bounds[index])) for index in todo]
+            retry: list[int] = []
+            pool_broken = False
+            for index, future in futures:
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as exc:
+                    # A worker died; every in-flight future on this pool
+                    # fails with it. Innocent shards burn an attempt too
+                    # (the culprit is unknowable), but the bound holds.
+                    pool_broken = True
+                    attempts[index] += 1
+                    _LOGGER.warning(
+                        "worker lost during shard %d/%d (attempt %d/%d): %s",
+                        index + 1, len(bounds), attempts[index],
+                        SHARD_MAX_ATTEMPTS, exc,
+                    )
+                    retry.append(index)
+                except Exception as exc:
+                    attempts[index] += 1
+                    _LOGGER.warning(
+                        "shard %d/%d failed (attempt %d/%d): %s",
+                        index + 1, len(bounds), attempts[index],
+                        SHARD_MAX_ATTEMPTS, exc,
+                    )
+                    retry.append(index)
+            todo = []
+            for index in retry:
+                if attempts[index] >= SHARD_MAX_ATTEMPTS:
+                    _LOGGER.error(
+                        "shard %d/%d failed %d times; degrading to "
+                        "in-process serial counting",
+                        index + 1, len(bounds), attempts[index],
+                    )
+                    results[index] = task(bounds[index])
+                else:
+                    todo.append(index)
+            if todo:
+                time.sleep(SHARD_BACKOFF_SECONDS * (2 ** round_number))
+                round_number += 1
+                if pool_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = _pool(context, workers, initargs)
     finally:
+        pool.shutdown(wait=False, cancel_futures=True)
         _SEQUENCES = None
+        _STATE.pop(kind, None)
+    return cast("list[dict]", results)
 
 
 # --- Generic candidate counting (customer shards or candidate shards) ----

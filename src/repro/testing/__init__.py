@@ -1,0 +1,25 @@
+"""Test-support machinery that ships with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection layer
+behind the crash-consistency suite: it hooks the filesystem seam
+(:mod:`repro.io.fsops`) and fails the Nth write-path operation from a
+seeded schedule. It lives in the package (not in ``tests/``) because
+worker processes and external harnesses need to import it, but nothing
+here is imported by the mining code itself.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    SimulatedCrash,
+    count_io_ops,
+    fault_schedule,
+    inject_faults,
+)
+
+__all__ = [
+    "FaultInjector",
+    "SimulatedCrash",
+    "count_io_ops",
+    "fault_schedule",
+    "inject_faults",
+]

@@ -1,0 +1,131 @@
+"""Deterministic fault injection at the filesystem seam.
+
+Every durable write in the package funnels through
+:mod:`repro.io.fsops` (``open``/``replace``/``fsync``/directory fsync —
+see the ``durable-writes`` lint rule), which makes crash testing
+tractable: instead of killing processes at random, a test counts the
+write-path operations a scenario performs (:func:`count_io_ops`), then
+re-runs the scenario failing exactly the Nth operation
+(:class:`FaultInjector`), for every interesting N from a seeded
+schedule (:func:`fault_schedule`). Two failure modes are supported:
+
+* ``kind="oserror"`` — the operation raises :class:`OSError`, modeling
+  a full disk or I/O error. Ordinary error handling runs: context
+  managers unwind, ``atomic_writer`` removes its temp file, the CLI
+  reports one error line.
+* ``kind="kill"`` — the operation raises :class:`SimulatedCrash`, which
+  deliberately subclasses :class:`BaseException`, not ``Exception``:
+  ``except Exception`` cleanup handlers do **not** run, so the
+  filesystem is left exactly as ``kill -9`` at that instant would leave
+  it (temp files orphaned, footers unwritten). Only ``finally`` blocks
+  and context-manager ``__exit__`` run, which matches process teardown
+  closely enough for crash-consistency purposes while keeping the test
+  in one process.
+
+Injectors fire **before** the operation touches the filesystem and are
+single-shot: after firing, the scenario's remaining I/O (in the same
+process — e.g. recovery code under test) proceeds normally.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.io.fsops import install_hook, remove_hook
+
+__all__ = [
+    "FaultInjector",
+    "SimulatedCrash",
+    "count_io_ops",
+    "fault_schedule",
+    "inject_faults",
+]
+
+
+class SimulatedCrash(BaseException):
+    """A process death at an exact I/O operation.
+
+    A ``BaseException`` on purpose: ``except Exception`` recovery paths
+    must not observe it, exactly as they would not observe ``SIGKILL``.
+    Tests catch it explicitly at the scenario boundary.
+    """
+
+
+class FaultInjector:
+    """Fail the ``fail_at``-th traced filesystem operation (0-based).
+
+    Install as a :mod:`repro.io.fsops` hook (or use
+    :func:`inject_faults`). Counts every traced op; when the counter
+    hits ``fail_at`` — optionally only counting ops whose path contains
+    ``match`` — raises per ``kind`` and disarms. ``ops_seen`` and
+    ``fired`` expose what happened for assertions.
+    """
+
+    def __init__(
+        self,
+        fail_at: int | None,
+        *,
+        kind: str = "oserror",
+        match: str | None = None,
+    ) -> None:
+        if kind not in ("oserror", "kill"):
+            raise ValueError(f"kind must be 'oserror' or 'kill', got {kind!r}")
+        self.fail_at = fail_at
+        self.kind = kind
+        self.match = match
+        self.ops_seen = 0
+        self.fired = False
+
+    def __call__(self, op: str, path: str) -> None:
+        if self.match is not None and self.match not in path:
+            return
+        index = self.ops_seen
+        self.ops_seen += 1
+        if self.fired or self.fail_at is None or index != self.fail_at:
+            return
+        self.fired = True
+        if self.kind == "kill":
+            raise SimulatedCrash(f"simulated crash at io op {index}: {op} {path}")
+        raise OSError(f"injected fault at io op {index}: {op} {path}")
+
+
+@contextmanager
+def inject_faults(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` on the filesystem seam for the duration."""
+    install_hook(injector)
+    try:
+        yield injector
+    finally:
+        remove_hook(injector)
+
+
+@contextmanager
+def count_io_ops(match: str | None = None) -> Iterator[FaultInjector]:
+    """Count a scenario's traced operations without failing any.
+
+    Yields a disarmed injector; read ``ops_seen`` after the block to
+    size the injection sweep.
+    """
+    with inject_faults(FaultInjector(None, match=match)) as counter:
+        yield counter
+
+
+def fault_schedule(seed: int, total_ops: int, samples: int) -> list[int]:
+    """Deterministic sample of injection points for a sweep.
+
+    Always includes the first and last operation (the classic torn
+    edges); the rest are drawn without replacement from a
+    ``random.Random(seed)``, so CI can shard sweeps by seed and any
+    failure reproduces from ``(seed, total_ops, samples)`` alone.
+    """
+    if total_ops <= 0:
+        return []
+    points = {0, total_ops - 1}
+    rng = random.Random(seed)
+    interior = list(range(1, total_ops - 1))
+    rng.shuffle(interior)
+    for point in interior[: max(0, samples - len(points))]:
+        points.add(point)
+    return sorted(points)

@@ -1,0 +1,168 @@
+"""The atomic-replacement write protocol (:mod:`repro.io.atomic`).
+
+The contract under test: a reader concurrent with (or after a crash
+during) an atomic write sees either the complete old file or the
+complete new file — never a prefix, never a mix — and in-process
+failures leave no litter, while crash-like failures leave exactly the
+``.tmp`` orphan fsck expects.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.io.atomic import (
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
+from repro.io.fsops import install_hook, remove_hook
+from repro.testing import FaultInjector, SimulatedCrash, inject_faults
+
+
+class TestHappyPath:
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text(encoding="utf-8") == "hello\n"
+        assert list(tmp_path.iterdir()) == [target]  # no temp litter
+
+    def test_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"\x00\x01\xff")
+        assert target.read_bytes() == b"\x00\x01\xff"
+
+    def test_json_preserves_insertion_order(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"z": 1, "a": 2})
+        text = target.read_text(encoding="utf-8")
+        assert text.index('"z"') < text.index('"a"')
+        assert text.endswith("\n")
+        assert json.loads(text) == {"z": 1, "a": 2}
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+
+    def test_writer_streams_to_sibling_tmp(self, tmp_path):
+        """The temp file lives in the target's directory (same
+        filesystem — the rename cannot degrade to a copy)."""
+        target = tmp_path / "out.txt"
+        with atomic_writer(target) as handle:
+            handle.write("data")
+            assert (tmp_path / ("out.txt" + TMP_SUFFIX)).exists()
+            assert not target.exists()
+        assert target.read_text(encoding="utf-8") == "data"
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="mode must be 'w' or 'wb'"):
+            with atomic_writer(tmp_path / "x", "r"):
+                pass
+
+
+class TestFailureModes:
+    def test_exception_removes_tmp_and_keeps_target(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("half-written")
+                raise RuntimeError("boom")
+        assert target.read_text(encoding="utf-8") == "old"
+        assert not (tmp_path / ("out.txt" + TMP_SUFFIX)).exists()
+
+    def test_simulated_crash_leaves_tmp_orphan(self, tmp_path):
+        """BaseException unwinding models a kill: the temp file stays on
+        disk (as it would after a real crash) and the target is intact —
+        the exact state ``seqmine fsck`` is built to clean up."""
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        # Fail the fsync of the temp file (op 1: open=0, fsync=1).
+        with pytest.raises(SimulatedCrash):
+            with inject_faults(FaultInjector(1, kind="kill")):
+                atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "old"
+        assert (tmp_path / ("out.txt" + TMP_SUFFIX)).exists()
+
+    def test_injected_oserror_cleans_up(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        with pytest.raises(OSError, match="injected fault"):
+            with inject_faults(FaultInjector(1, kind="oserror")):
+                atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "old"
+        assert not (tmp_path / ("out.txt" + TMP_SUFFIX)).exists()
+
+    def test_crash_at_every_op_never_tears_target(self, tmp_path):
+        """Sweep the kill point across all four protocol operations
+        (open, fsync, replace, fsync_dir): after each crash the target
+        is either fully old or fully new — never a prefix."""
+        target = tmp_path / "out.json"
+        old = {"value": "old", "pad": "x" * 4096}
+        new = {"value": "new", "pad": "y" * 4096}
+        for fail_at in range(4):
+            atomic_write_json(target, old)
+            try:
+                with inject_faults(FaultInjector(fail_at, kind="kill")):
+                    atomic_write_json(target, new)
+            except SimulatedCrash:
+                pass
+            on_disk = json.loads(target.read_text(encoding="utf-8"))
+            assert on_disk in (old, new), f"torn write at op {fail_at}"
+            tmp = tmp_path / ("out.json" + TMP_SUFFIX)
+            if tmp.exists():
+                tmp.unlink()  # what fsck would do
+
+
+class TestProtocolOrder:
+    def test_fsync_before_replace_before_dir_sync(self, tmp_path):
+        """The commit protocol's op order is the correctness argument:
+        data fsync, then rename, then directory fsync."""
+        ops = []
+
+        def spy(op: str, path: str) -> None:
+            ops.append(op)
+
+        install_hook(spy)
+        try:
+            atomic_write_text(tmp_path / "out.txt", "data")
+        finally:
+            remove_hook(spy)
+        assert ops == ["open", "fsync", "replace", "fsync_dir"]
+
+    def test_replace_targets_final_path_not_tmp(self, tmp_path):
+        seen = {}
+
+        def spy(op: str, path: str) -> None:
+            seen.setdefault(op, path)
+
+        target = tmp_path / "out.txt"
+        install_hook(spy)
+        try:
+            atomic_write_text(target, "data")
+        finally:
+            remove_hook(spy)
+        assert seen["open"].endswith(TMP_SUFFIX)
+        assert seen["replace"] == str(target)
+        assert seen["fsync_dir"] == str(tmp_path)
+
+    def test_tmp_suffix_is_stable(self):
+        # fsck recognizes interrupted writes by this exact suffix.
+        assert TMP_SUFFIX == ".tmp"
+
+
+class TestOsReplaceAtomicity:
+    def test_reader_with_open_handle_sees_complete_old_file(self, tmp_path):
+        """POSIX rename semantics through the helper: a handle opened
+        before the replace keeps reading the complete old content."""
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old-content")
+        with open(target, "r", encoding="utf-8") as reader:
+            atomic_write_text(target, "new-content")
+            assert reader.read() == "old-content"
+        assert target.read_text(encoding="utf-8") == "new-content"

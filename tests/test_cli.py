@@ -531,3 +531,106 @@ class TestAppendUpdateCli:
         assert "--save-state requires --partition-dir" in one_line_error(
             capsys
         )
+
+
+class TestRobustnessVerbs:
+    """Error paths (and minimal happy paths) of the fault-tolerance
+    verbs: ``mine --checkpoint-dir``, ``resume``, ``fsck``."""
+
+    def test_resume_missing_checkpoint_dir(self, tmp_path, capsys):
+        code = main(["resume", "--checkpoint-dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "checkpoint meta" in one_line_error(capsys)
+
+    def test_resume_corrupt_checkpoint_meta(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        ck.mkdir()
+        (ck / "checkpoint.json").write_text("{torn", encoding="utf-8")
+        code = main(["resume", "--checkpoint-dir", str(ck)])
+        assert code == 1
+        assert "checkpoint meta" in one_line_error(capsys)
+
+    def test_resume_checkpoint_not_a_mine_run(self, tmp_path, capsys):
+        from repro.io.checkpoint import CheckpointStore
+
+        CheckpointStore.attach(tmp_path / "ck", {"command": "other"})
+        code = main(["resume", "--checkpoint-dir", str(tmp_path / "ck")])
+        assert code == 1
+        assert "does not describe a resumable 'mine' run" in one_line_error(
+            capsys
+        )
+
+    def test_mine_checkpoint_config_mismatch(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        ck = tmp_path / "ck"
+        assert main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--checkpoint-dir", str(ck),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.4",
+            "--checkpoint-dir", str(ck),
+        ])
+        assert code == 1
+        assert "different run configuration" in one_line_error(capsys)
+
+    def test_mine_then_resume_reproduces_output(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        ck, out = tmp_path / "ck", tmp_path / "out.txt"
+        assert main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--checkpoint-dir", str(ck), "--output", str(out),
+        ]) == 0
+        first = out.read_bytes()
+        out.unlink()
+        assert main(["resume", "--checkpoint-dir", str(ck)]) == 0
+        assert out.read_bytes() == first
+        err = capsys.readouterr().err
+        assert "replayed" in err  # the resume consumed recorded passes
+
+    def test_fsck_missing_directory(self, tmp_path, capsys):
+        code = main(["fsck", str(tmp_path / "nope")])
+        assert code == 1
+        assert "not a partitioned database" in one_line_error(capsys)
+
+    def test_fsck_corrupt_manifest(self, tmp_path, capsys):
+        parts = tmp_path / "parts"
+        assert main([
+            "generate", "--customers", "10", "--seed", "3",
+            "--stream-out", str(parts),
+        ]) == 0
+        capsys.readouterr()
+        (parts / "manifest.json").write_text("{torn", encoding="utf-8")
+        code = main(["fsck", str(parts)])
+        assert code == 1
+        assert "not valid JSON" in one_line_error(capsys)
+
+    def test_fsck_corrupt_base_partition(self, tmp_path, capsys):
+        parts = tmp_path / "parts"
+        assert main([
+            "generate", "--customers", "10", "--seed", "3",
+            "--stream-out", str(parts), "--partitions", "2",
+        ]) == 0
+        capsys.readouterr()
+        target = parts / "part-00000.binlog"
+        target.write_bytes(target.read_bytes()[:-7])
+        code = main(["fsck", str(parts)])
+        assert code == 1
+        assert "damaged beyond repair" in one_line_error(capsys)
+
+    def test_fsck_clean_and_repair_round_trip(self, tmp_path, capsys):
+        parts = tmp_path / "parts"
+        assert main([
+            "generate", "--customers", "10", "--seed", "3",
+            "--stream-out", str(parts),
+        ]) == 0
+        (parts / "manifest.json.tmp").write_text("{", encoding="utf-8")
+        assert main(["fsck", str(parts)]) == 0
+        out = capsys.readouterr().out
+        assert "removed: manifest.json.tmp" in out
+        assert out.rstrip().endswith("repaired")
+        assert main(["fsck", str(parts)]) == 0
+        assert capsys.readouterr().out.rstrip().endswith("clean")

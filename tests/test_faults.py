@@ -1,0 +1,109 @@
+"""The deterministic fault-injection layer (:mod:`repro.testing.faults`).
+
+These tests pin the harness itself — single-shot firing, op counting,
+match filtering, schedule determinism — because the crash-consistency
+suite's guarantees are only as strong as the injector's.
+"""
+
+import pytest
+
+from repro.io.fsops import fs_open, fsync_dir
+from repro.testing import (
+    FaultInjector,
+    SimulatedCrash,
+    count_io_ops,
+    fault_schedule,
+    inject_faults,
+)
+
+
+def _touch(path) -> None:
+    with fs_open(path, "w", encoding="utf-8") as handle:
+        handle.write("x")
+
+
+class TestFaultInjector:
+    def test_fires_at_exact_index_then_disarms(self, tmp_path):
+        injector = FaultInjector(2, kind="oserror")
+        with inject_faults(injector):
+            _touch(tmp_path / "a")  # op 0
+            _touch(tmp_path / "b")  # op 1
+            with pytest.raises(OSError, match="injected fault at io op 2"):
+                _touch(tmp_path / "c")  # op 2: fires
+            _touch(tmp_path / "d")  # single-shot: proceeds normally
+        assert injector.fired
+        assert injector.ops_seen == 4
+
+    def test_kill_kind_is_base_exception(self, tmp_path):
+        injector = FaultInjector(0, kind="kill")
+        with inject_faults(injector):
+            caught_by_except_exception = False
+            try:
+                try:
+                    _touch(tmp_path / "a")
+                except Exception:  # must NOT see a simulated kill
+                    caught_by_except_exception = True
+            except SimulatedCrash:
+                pass
+        assert not caught_by_except_exception
+        assert injector.fired
+
+    def test_match_filter_counts_only_matching_paths(self, tmp_path):
+        injector = FaultInjector(0, match="target")
+        with inject_faults(injector):
+            _touch(tmp_path / "other")  # not counted
+            with pytest.raises(OSError):
+                _touch(tmp_path / "target-file")
+        assert injector.ops_seen == 1
+
+    def test_disarmed_injector_never_fires(self, tmp_path):
+        with inject_faults(FaultInjector(None)) as injector:
+            _touch(tmp_path / "a")
+            fsync_dir(tmp_path)
+        assert not injector.fired
+        assert injector.ops_seen == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be"):
+            FaultInjector(0, kind="meteor")
+
+    def test_hook_removed_after_context(self, tmp_path):
+        with inject_faults(FaultInjector(None)) as injector:
+            _touch(tmp_path / "a")
+        before = injector.ops_seen
+        _touch(tmp_path / "b")  # outside: not traced
+        assert injector.ops_seen == before
+
+
+class TestCountIoOps:
+    def test_counts_without_failing(self, tmp_path):
+        with count_io_ops() as counter:
+            _touch(tmp_path / "a")
+            _touch(tmp_path / "b")
+        assert counter.ops_seen == 2
+        assert not counter.fired
+
+
+class TestFaultSchedule:
+    def test_deterministic_for_a_seed(self):
+        assert fault_schedule(7, 100, 10) == fault_schedule(7, 100, 10)
+
+    def test_seeds_differ(self):
+        schedules = {tuple(fault_schedule(s, 1000, 10)) for s in range(5)}
+        assert len(schedules) > 1
+
+    def test_always_includes_torn_edges(self):
+        for seed in range(3):
+            points = fault_schedule(seed, 50, 5)
+            assert 0 in points and 49 in points
+
+    def test_sorted_unique_within_bounds(self):
+        points = fault_schedule(3, 40, 12)
+        assert points == sorted(set(points))
+        assert all(0 <= p < 40 for p in points)
+        assert len(points) <= 12
+
+    def test_degenerate_sizes(self):
+        assert fault_schedule(0, 0, 5) == []
+        assert fault_schedule(0, 1, 5) == [0]
+        assert fault_schedule(0, 2, 5) == [0, 1]

@@ -1,0 +1,275 @@
+"""``seqmine fsck`` repair semantics (:mod:`repro.db.fsck`).
+
+The covered contract: temp-file orphans and uncommitted delta files are
+removed (they were never part of the database); a corrupt delta
+generation quarantines itself and every later generation and rolls the
+manifest back with exactly recomputed statistics; base/manifest damage
+is fatal; stale or unreadable mining-state snapshots are quarantined;
+invalid derived caches are deleted. After any successful fsck the
+directory must reopen, and a second fsck must be clean.
+"""
+
+import json
+
+import pytest
+
+from repro.db.database import CustomerSequence
+from repro.db.fsck import QUARANTINE_SUFFIX, FsckReport, fsck_directory
+from repro.db.partitioned import (
+    MANIFEST_NAME,
+    MINING_STATE_NAME,
+    PartitionedDatabase,
+    delta_partition_file_name,
+    partition_file_name,
+)
+from repro.incremental.state import MiningState
+from repro.io.state import write_mining_state
+
+
+def customers(start: int, count: int) -> list[CustomerSequence]:
+    return [
+        CustomerSequence(
+            customer_id=cid,
+            events=((cid % 5 + 1,), tuple(sorted({cid % 3 + 1, 6}))),
+        )
+        for cid in range(start, start + count)
+    ]
+
+
+def make_db(directory, *, deltas: int = 0) -> PartitionedDatabase:
+    """A 2-partition base of 10 customers plus ``deltas`` generations of
+    4 new customers each."""
+    db = PartitionedDatabase.create(directory, customers(1, 10), partitions=2)
+    for generation in range(1, deltas + 1):
+        db.append_delta(customers(1 + 10 + 4 * (generation - 1), 4))
+    return db
+
+
+def corrupt(path) -> None:
+    """Break a binlog detectably (truncate into the footer)."""
+    path.write_bytes(path.read_bytes()[:-7])
+
+
+def snapshot(generation: int, num_customers: int) -> MiningState:
+    return MiningState(
+        minsup=0.3,
+        algorithm="aprioriall",
+        strategy="hashtree",
+        num_customers=num_customers,
+        generation=generation,
+        length2_complete=True,
+    )
+
+
+class TestCleanDatabase:
+    def test_clean_reports_clean(self, tmp_path):
+        make_db(tmp_path / "db", deltas=2)
+        report = fsck_directory(tmp_path / "db")
+        assert report.clean
+        assert report.rolled_back_to_generation is None
+        assert report.removed == [] and report.quarantined == []
+        assert report.checked_files > 0
+        assert report.lines()[-1] == "clean"
+
+    def test_current_mining_state_is_kept(self, tmp_path):
+        db = make_db(tmp_path / "db", deltas=1)
+        write_mining_state(
+            snapshot(1, db.num_customers),
+            tmp_path / "db" / MINING_STATE_NAME,
+        )
+        assert fsck_directory(tmp_path / "db").clean
+        assert (tmp_path / "db" / MINING_STATE_NAME).exists()
+
+
+class TestInterruptedWrites:
+    def test_tmp_orphans_removed(self, tmp_path):
+        make_db(tmp_path / "db")
+        (tmp_path / "db" / (MANIFEST_NAME + ".tmp")).write_text("{par")
+        (tmp_path / "db" / "transformed").mkdir()
+        (tmp_path / "db" / "transformed" / "tpart-00000.binlog.tmp").write_bytes(
+            b"SQBL"
+        )
+        report = fsck_directory(tmp_path / "db")
+        assert not report.clean
+        assert len(report.removed) == 2
+        assert not list((tmp_path / "db").glob("**/*.tmp"))
+        assert any("interrupted write" in p for p in report.problems)
+        assert fsck_directory(tmp_path / "db").clean
+
+    def test_uncommitted_delta_removed(self, tmp_path):
+        make_db(tmp_path / "db", deltas=1)
+        # An append that died after writing its partition but before the
+        # manifest replace: the file exists, no manifest entry claims it.
+        orphan = tmp_path / "db" / delta_partition_file_name(2, 0)
+        orphan.write_bytes(b"SQBL\x02partial")
+        report = fsck_directory(tmp_path / "db")
+        assert report.removed == [orphan.name]
+        assert not orphan.exists()
+        assert report.rolled_back_to_generation is None  # gen 1 untouched
+        reopened = PartitionedDatabase.open(tmp_path / "db")
+        assert reopened.generation == 1
+        assert reopened.num_customers == 14
+
+
+class TestDeltaRollback:
+    def test_corrupt_generation_quarantines_itself_and_later(self, tmp_path):
+        make_db(tmp_path / "db", deltas=3)
+        corrupt(tmp_path / "db" / delta_partition_file_name(2, 0))
+        report = fsck_directory(tmp_path / "db")
+        assert not report.clean
+        assert report.rolled_back_to_generation == 1
+        # Generations 2 and 3 quarantined; generation 1 untouched.
+        assert delta_partition_file_name(2, 0) in report.quarantined
+        assert delta_partition_file_name(3, 0) in report.quarantined
+        assert (tmp_path / "db").glob("*" + QUARANTINE_SUFFIX)
+        assert (tmp_path / "db" / delta_partition_file_name(1, 0)).exists()
+
+    def test_rollback_recomputes_statistics_and_reopens(self, tmp_path):
+        reference = make_db(tmp_path / "ref", deltas=1)
+        make_db(tmp_path / "db", deltas=3)
+        corrupt(tmp_path / "db" / delta_partition_file_name(2, 0))
+        fsck_directory(tmp_path / "db")
+        rolled = PartitionedDatabase.open(tmp_path / "db")
+        assert rolled.generation == 1
+        assert rolled.num_customers == reference.num_customers == 14
+        manifest = json.loads(
+            (tmp_path / "db" / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        expected = json.loads(
+            (tmp_path / "ref" / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        for key in (
+            "num_customers",
+            "num_transactions",
+            "num_items_total",
+            "num_distinct_items",
+            "max_customer_id",
+            "vocabulary",
+        ):
+            assert manifest[key] == expected[key], key
+        assert fsck_directory(tmp_path / "db").clean
+
+    def test_corrupt_first_generation_rolls_back_to_base(self, tmp_path):
+        make_db(tmp_path / "db", deltas=2)
+        corrupt(tmp_path / "db" / delta_partition_file_name(1, 0))
+        report = fsck_directory(tmp_path / "db")
+        assert report.rolled_back_to_generation == 0
+        reopened = PartitionedDatabase.open(tmp_path / "db")
+        assert reopened.generation == 0
+        assert reopened.num_customers == 10
+
+    def test_overlay_corruption_rolls_back_too(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        # Overlay delta: extra events for existing customers 1 and 2.
+        db.append_delta(
+            [
+                CustomerSequence(customer_id=1, events=((9,),)),
+                CustomerSequence(customer_id=2, events=((8, 9),)),
+            ],
+        )
+        overlay = tmp_path / "db" / "delta-00001-overlay.binlog"
+        assert overlay.exists()
+        corrupt(overlay)
+        report = fsck_directory(tmp_path / "db")
+        assert report.rolled_back_to_generation == 0
+        assert overlay.name in report.quarantined
+        assert PartitionedDatabase.open(tmp_path / "db").num_customers == 10
+
+    def test_stale_mining_state_quarantined_after_rollback(self, tmp_path):
+        db = make_db(tmp_path / "db", deltas=1)
+        state_path = tmp_path / "db" / MINING_STATE_NAME
+        write_mining_state(snapshot(1, db.num_customers), state_path)
+        corrupt(tmp_path / "db" / delta_partition_file_name(1, 0))
+        report = fsck_directory(tmp_path / "db")
+        assert report.rolled_back_to_generation == 0
+        assert not state_path.exists()
+        assert (
+            tmp_path / "db" / (MINING_STATE_NAME + QUARANTINE_SUFFIX)
+        ).exists()
+        assert any("rolled back" in p for p in report.problems)
+
+
+class TestFatalDamage:
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError, match="not a partitioned database"):
+            fsck_directory(tmp_path / "empty")
+
+    def test_manifest_not_json(self, tmp_path):
+        make_db(tmp_path / "db")
+        (tmp_path / "db" / MANIFEST_NAME).write_text("{torn", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            fsck_directory(tmp_path / "db")
+
+    def test_manifest_wrong_format(self, tmp_path):
+        make_db(tmp_path / "db")
+        (tmp_path / "db" / MANIFEST_NAME).write_text(
+            json.dumps({"format": "something-else"}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="partitioned-database manifest"):
+            fsck_directory(tmp_path / "db")
+
+    def test_corrupt_base_partition(self, tmp_path):
+        make_db(tmp_path / "db", deltas=1)
+        corrupt(tmp_path / "db" / partition_file_name(1))
+        with pytest.raises(ValueError, match="damaged beyond repair"):
+            fsck_directory(tmp_path / "db")
+
+    def test_missing_base_partition(self, tmp_path):
+        make_db(tmp_path / "db")
+        (tmp_path / "db" / partition_file_name(0)).unlink()
+        with pytest.raises(ValueError, match="damaged beyond repair"):
+            fsck_directory(tmp_path / "db")
+
+
+class TestMiningState:
+    def test_unreadable_snapshot_quarantined(self, tmp_path):
+        make_db(tmp_path / "db")
+        state_path = tmp_path / "db" / MINING_STATE_NAME
+        state_path.write_text("not json at all", encoding="utf-8")
+        report = fsck_directory(tmp_path / "db")
+        assert not report.clean
+        assert MINING_STATE_NAME in report.quarantined
+        assert not state_path.exists()
+
+    def test_snapshot_ahead_of_database_quarantined(self, tmp_path):
+        # A snapshot claiming generation 3 against a generation-1
+        # database (e.g. restored from a different backup) is stale.
+        db = make_db(tmp_path / "db", deltas=1)
+        write_mining_state(
+            snapshot(3, db.num_customers),
+            tmp_path / "db" / MINING_STATE_NAME,
+        )
+        report = fsck_directory(tmp_path / "db")
+        assert MINING_STATE_NAME in report.quarantined
+
+
+class TestDerivedCaches:
+    def test_invalid_caches_deleted(self, tmp_path):
+        make_db(tmp_path / "db")
+        transformed = tmp_path / "db" / "transformed"
+        transformed.mkdir()
+        (transformed / "tpart-00000.binlog").write_bytes(b"NOPE")
+        (transformed / "tpart-00000.compiled.pkl").write_bytes(b"\x80broken")
+        report = fsck_directory(tmp_path / "db")
+        assert not report.clean
+        assert len(report.removed) == 2
+        assert not list(transformed.iterdir())
+        assert fsck_directory(tmp_path / "db").clean
+
+
+class TestReportRendering:
+    def test_lines_enumerate_findings(self, tmp_path):
+        report = FsckReport(directory=tmp_path)
+        report.checked_files = 3
+        report.problems.append("x: damaged")
+        report.removed.append("x")
+        report.quarantined.append("y")
+        report.rolled_back_to_generation = 2
+        lines = report.lines()
+        assert lines[0] == f"fsck {tmp_path}: checked 3 files"
+        assert "  problem: x: damaged" in lines
+        assert "  removed: x" in lines
+        assert "  quarantined: y" in lines
+        assert "  rolled back to generation 2" in lines
+        assert lines[-1] == "repaired"

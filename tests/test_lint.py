@@ -40,6 +40,7 @@ EXPECTED_RULES = [
     "cli-error-policy",
     "core-layering",
     "deterministic-core",
+    "durable-writes",
     "import-cycles",
 ]
 
@@ -380,6 +381,112 @@ class TestAnnotationsRule:
         messages = "\n".join(v.message for v in violations)
         assert "__init__ declares -> None" in messages
         assert "*args" in messages and "**kw" in messages
+
+
+class TestDurableWritesRule:
+    def test_write_mode_open_fires_read_does_not(self):
+        bad = run_rule(
+            "durable-writes",
+            {
+                "repro.x": (
+                    "def f(path: str) -> None:\n"
+                    '    with open(path, "w") as h:\n'
+                    '        h.write("x")\n'
+                )
+            },
+        )
+        good = run_rule(
+            "durable-writes",
+            {
+                "repro.x": (
+                    "def f(path: str) -> str:\n"
+                    '    with open(path, "r", encoding="utf-8") as h:\n'
+                    "        return h.read()\n"
+                )
+            },
+        )
+        assert len(bad) == 1
+        assert bad[0].line == 2
+        assert "repro.io.atomic" in bad[0].message
+        assert good == []
+
+    def test_mode_keyword_and_append_mode_fire(self):
+        violations = run_rule(
+            "durable-writes",
+            {
+                "benchmarks.x": (
+                    "from pathlib import Path\n"
+                    "def f(p: Path) -> None:\n"
+                    '    p.open(mode="ab").close()\n'
+                )
+            },
+        )
+        assert len(violations) == 1
+        assert "'ab'" in violations[0].message
+
+    def test_non_literal_mode_on_builtin_open_fires(self):
+        violations = run_rule(
+            "durable-writes",
+            {
+                "repro.x": (
+                    "def f(path: str, mode: str) -> None:\n"
+                    "    open(path, mode).close()\n"
+                )
+            },
+        )
+        assert len(violations) == 1
+        assert "non-literal mode" in violations[0].message
+
+    def test_raw_os_primitives_fire(self):
+        violations = run_rule(
+            "durable-writes",
+            {
+                "repro.x": (
+                    "import os\n"
+                    "def f(a: str, b: str) -> None:\n"
+                    "    os.replace(a, b)\n"
+                    "    os.fsync(3)\n"
+                )
+            },
+        )
+        assert len(violations) == 2
+        messages = "\n".join(v.message for v in violations)
+        assert "fsops seam" in messages
+
+    def test_path_write_text_fires(self):
+        violations = run_rule(
+            "durable-writes",
+            {
+                "repro.x": (
+                    "from pathlib import Path\n"
+                    "def f(p: Path) -> None:\n"
+                    '    p.write_text("data")\n'
+                )
+            },
+        )
+        assert len(violations) == 1
+        assert "torn write" in violations[0].message
+
+    def test_sanctioned_modules_and_classmethod_open_are_exempt(self):
+        clean = run_rule(
+            "durable-writes",
+            {
+                # The atomic module itself may use the raw primitives...
+                "repro.io.atomic": (
+                    "import os\n"
+                    "def commit(a: str, b: str) -> None:\n"
+                    "    os.replace(a, b)\n"
+                ),
+                # ...and `Thing.open(path)` classmethods take a *path*
+                # first, not a mode — they must not be flagged.
+                "repro.y": (
+                    "from repro.db.partitioned import PartitionedDatabase\n"
+                    "def f(d: str) -> PartitionedDatabase:\n"
+                    "    return PartitionedDatabase.open(d)\n"
+                ),
+            },
+        )
+        assert clean == []
 
 
 # --------------------------------------------------------------------- #

@@ -89,8 +89,13 @@ class TestCountingOptions:
             "branch_factor": 8,
             "workers": 2,
             "chunk_size": 100,
+            "checkpoint": None,
         }
-        assert opts.sharding_kwargs() == {"workers": 2, "chunk_size": 100}
+        assert opts.sharding_kwargs() == {
+            "workers": 2,
+            "chunk_size": 100,
+            "checkpoint": None,
+        }
 
     def test_rejects_bad_parallel_knobs(self):
         with pytest.raises(ValueError):

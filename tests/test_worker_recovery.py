@@ -1,0 +1,206 @@
+"""Worker-loss recovery in the sharded counting executor.
+
+The contract (see :func:`repro.parallel.executor._run_sharded`): a
+SIGKILLed pool worker no longer aborts the pass — the failed shards are
+re-dispatched through a fresh pool with bounded, logged retries; a shard
+that keeps failing degrades to in-process serial counting (logged, never
+silent); and however many workers died along the way, the merged counts
+are identical to a serial run.
+
+The kill tests require the ``fork`` start method (the injected failure
+state travels to workers via inherited module globals), so they are
+Linux-only — exactly the platform where the executor prefers fork.
+"""
+
+import logging
+import os
+import signal
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.counting import count_candidates
+from repro.miner import MiningParams, mine
+from repro.core.phase import CountingOptions
+from repro.db.database import SequenceDatabase
+from repro.parallel import executor
+from repro.parallel.executor import parallel_count_candidates
+
+needs_fork = pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="kill-injection rides fork-inherited globals",
+)
+
+
+def events(*ids_per_event):
+    return tuple(frozenset(ids) for ids in ids_per_event)
+
+
+SEQUENCES = [
+    events({1}, {2}, {1}),
+    events({2, 3}, {1}),
+    events({1, 2}),
+    events({3}, {3}, {2}),
+    events({1}, {1}, {1}),
+    events({2}, {3}),
+    events({4}, {1, 3}),
+]
+CANDIDATES = [(1, 2), (2, 1), (3, 3), (3, 2), (1, 1), (4, 3), (9, 9)]
+
+#: Set at import, in the parent: workers (forked later) see a different
+#: pid, which is how the injected tasks know they are in a child.
+_PARENT_PID = os.getpid()
+
+#: Directory for cross-process kill markers; monkeypatched per test.
+_KILL_DIR = None
+
+_ORIGINAL_COUNT_SHARD = executor._count_shard
+_ORIGINAL_LENGTH2_SHARD = executor._count_length2_shard
+
+
+def _mark_once(name: str) -> bool:
+    """True for exactly one caller per marker name, across processes."""
+    try:
+        fd = os.open(Path(_KILL_DIR) / name, os.O_CREAT | os.O_EXCL)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _killing_count_shard(bounds):
+    """Real shard counting, except each shard's first worker run dies by
+    SIGKILL — the genuine article, not an exception."""
+    if _KILL_DIR is not None and os.getpid() != _PARENT_PID:
+        if _mark_once(f"killed-{bounds[0]}-{bounds[1]}"):
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _ORIGINAL_COUNT_SHARD(bounds)
+
+
+def _killing_length2_shard(bounds):
+    """Same, for the length-2 pass — the pass every mine parallelizes."""
+    if _KILL_DIR is not None and os.getpid() != _PARENT_PID:
+        if _mark_once(f"killed-l2-{bounds[0]}-{bounds[1]}"):
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _ORIGINAL_LENGTH2_SHARD(bounds)
+
+
+def _child_hostile_task(bounds):
+    """Fails deterministically in any worker, succeeds in the parent —
+    the shape that must end in logged in-process degradation."""
+    if os.getpid() != _PARENT_PID:
+        raise OSError("this shard only works in the parent")
+    return {bounds: bounds[1] - bounds[0]}
+
+
+def _always_failing_task(bounds):
+    raise ValueError(f"shard {bounds} is deterministically broken")
+
+
+@pytest.fixture
+def fast_retries(monkeypatch):
+    monkeypatch.setattr(executor, "SHARD_BACKOFF_SECONDS", 0.0)
+
+
+@needs_fork
+class TestWorkerLossRecovery:
+    @pytest.fixture
+    def kill_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            sys.modules[__name__], "_KILL_DIR", str(tmp_path)
+        )
+        return tmp_path
+
+    def test_sigkilled_worker_counts_identical(
+        self, fast_retries, kill_dir, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(executor, "_count_shard", _killing_count_shard)
+        serial = count_candidates(SEQUENCES, CANDIDATES)
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            parallel = parallel_count_candidates(
+                SEQUENCES, CANDIDATES, workers=2, chunk_size=2
+            )
+        assert parallel == serial
+        assert list(parallel) == list(serial)
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("worker lost during shard" in m for m in messages)
+
+    def test_sigkilled_worker_mid_mine_run_completes(
+        self, fast_retries, kill_dir, monkeypatch, caplog
+    ):
+        """The acceptance criterion end to end: SIGKILL a pool worker in
+        the middle of a full mine; the run finishes with results
+        identical to serial."""
+        monkeypatch.setattr(executor, "_count_shard", _killing_count_shard)
+        monkeypatch.setattr(
+            executor, "_count_length2_shard", _killing_length2_shard
+        )
+        db = SequenceDatabase.from_sequences(
+            [list(s) for s in SEQUENCES] * 3
+        )
+        serial = mine(
+            db,
+            MiningParams(minsup=0.3, counting=CountingOptions(workers=1)),
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            parallel = mine(
+                db,
+                MiningParams(
+                    minsup=0.3,
+                    counting=CountingOptions(workers=2, chunk_size=3),
+                ),
+            )
+        assert [(p.sequence, p.count) for p in parallel.patterns] == [
+            (p.sequence, p.count) for p in serial.patterns
+        ]
+        assert any(kill_dir.iterdir()), "no worker was actually killed"
+
+    def test_repeated_failure_degrades_in_process_with_logs(
+        self, fast_retries, caplog
+    ):
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            results = executor._run_sharded(
+                list(range(6)), 2, 3, "test", (), _child_hostile_task
+            )
+        assert results == [{(0, 3): 3}, {(3, 6): 3}]
+        messages = [record.getMessage() for record in caplog.records]
+        warnings = [m for m in messages if "failed (attempt" in m]
+        degradations = [
+            m for m in messages
+            if "degrading to in-process serial counting" in m
+        ]
+        # Each shard burned its full attempt budget, then degraded.
+        assert len(warnings) == 2 * executor.SHARD_MAX_ATTEMPTS
+        assert len(degradations) == 2
+
+    def test_deterministic_error_propagates_with_real_traceback(
+        self, fast_retries, caplog
+    ):
+        """A shard broken everywhere (including in-process) must raise
+        its own exception after the retry budget, not be swallowed."""
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            with pytest.raises(ValueError, match="deterministically broken"):
+                executor._run_sharded(
+                    list(range(4)), 2, 2, "test", (), _always_failing_task
+                )
+        assert any(
+            "degrading" in record.getMessage() for record in caplog.records
+        )
+
+    def test_state_cleaned_up_after_failure(self, fast_retries):
+        with pytest.raises(ValueError):
+            executor._run_sharded(
+                list(range(4)), 2, 2, "test", ("payload",),
+                _always_failing_task,
+            )
+        assert executor._SEQUENCES is None
+        assert "test" not in executor._STATE
+
+
+class TestRetryKnobs:
+    def test_constants_are_sane(self):
+        # The retry budget and backoff base are part of the documented
+        # recovery contract; changing them is an intentional act.
+        assert executor.SHARD_MAX_ATTEMPTS == 3
+        assert executor.SHARD_BACKOFF_SECONDS > 0

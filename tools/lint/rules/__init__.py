@@ -13,6 +13,7 @@ from tools.lint.rules import (  # noqa: F401  (registration side effects)
     cli_policy,
     cycles,
     determinism,
+    durability,
     exports,
     layering,
 )

@@ -1,0 +1,157 @@
+"""``durable-writes``: every persistent write goes through the durable path.
+
+The crash-consistency guarantees (PR 8) hold only because all durable
+writes funnel through two modules: :mod:`repro.io.atomic` (temp file →
+fsync → atomic rename → directory fsync) for whole-file artifacts, and
+the :mod:`repro.io.fsops` seam (``fs_open``/``fs_replace``/``fs_fsync``)
+for append-style writers like the binlog. A single ``open(path, "w")``
+elsewhere reintroduces the torn-write bug class those modules exist to
+kill — and, because the fault-injection layer hooks the seam, such a
+write is also *invisible to the crash tests*, so the regression ships
+silently. This rule statically bans, in ``repro`` and ``benchmarks``
+(everywhere outside the two sanctioned modules):
+
+* ``open()`` / ``*.open()`` with a write-capable mode (any of
+  ``w``/``a``/``x``/``+``) — and builtin ``open()`` with a *non-literal*
+  mode, which the linter cannot prove read-only;
+* ``os.replace`` / ``os.rename`` / ``os.fsync`` — the raw primitives
+  behind the seam, which used directly dodge fault injection;
+* ``Path.write_text`` / ``Path.write_bytes`` — single-call torn writes
+  with no temp file, no fsync, and no atomic commit.
+
+Read-mode opens are untouched: durability is a write-path property, and
+readers already defend themselves with format validation and checksums.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint import LintContext, Rule, Violation, register
+
+#: Subsystems whose file writes must be crash-safe.
+SCOPES = ("repro", "benchmarks")
+
+#: The two modules allowed to touch raw write primitives: the atomic
+#: whole-file protocol, and the hook-visible syscall seam itself.
+ALLOWED_MODULES = frozenset({"repro.io.atomic", "repro.io.fsops"})
+
+#: Mode characters that make an ``open`` write-capable.
+WRITE_MODE_CHARS = frozenset("wax+")
+
+#: ``os`` functions that belong behind the :mod:`repro.io.fsops` seam.
+SEAM_OS_FUNCS = ("replace", "rename", "fsync")
+
+#: ``Path`` methods that are torn writes by construction.
+TORN_WRITE_METHODS = ("write_text", "write_bytes")
+
+
+def _open_mode(node: ast.Call) -> ast.expr | None:
+    """The mode expression of an ``open``-shaped call, if given."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    if len(node.args) >= 2:
+        return node.args[1]
+    return None
+
+
+def _check_open_call(
+    node: ast.Call, mf_path: str, *, builtin: bool
+) -> Violation | None:
+    mode = _open_mode(node)
+    if mode is None:
+        # No mode argument: the default is read-only. For method-form
+        # ``x.open(arg)`` the first positional is a *path* for the many
+        # ``open`` classmethods in this package, so only an explicit
+        # ``mode=`` keyword or a literal mode string is judged there.
+        return None
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if not WRITE_MODE_CHARS.intersection(mode.value):
+            return None
+        return Violation(
+            rule=RULE.name,
+            path=mf_path,
+            line=node.lineno,
+            message=(
+                f"open with write mode {mode.value!r} outside the durable "
+                f"write path; use repro.io.atomic (atomic_writer / "
+                f"atomic_write_*) or the repro.io.fsops seam"
+            ),
+        )
+    if builtin:
+        return Violation(
+            rule=RULE.name,
+            path=mf_path,
+            line=node.lineno,
+            message=(
+                "open() with a non-literal mode cannot be proven "
+                "read-only; pass a literal mode (or route writes through "
+                "repro.io.atomic)"
+            ),
+        )
+    return None
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for scope in SCOPES:
+        for mf in ctx.modules(scope):
+            if mf.module in ALLOWED_MODULES:
+                continue
+            for node in ast.walk(mf.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "open":
+                    found = _check_open_call(node, mf.path, builtin=True)
+                    if found is not None:
+                        violations.append(found)
+                elif isinstance(func, ast.Attribute):
+                    owner = func.value
+                    if (
+                        isinstance(owner, ast.Name)
+                        and owner.id == "os"
+                        and func.attr in SEAM_OS_FUNCS
+                    ):
+                        violations.append(
+                            Violation(
+                                rule=RULE.name,
+                                path=mf.path,
+                                line=node.lineno,
+                                message=(
+                                    f"os.{func.attr}() bypasses the "
+                                    f"repro.io.fsops seam (invisible to "
+                                    f"fault injection); use fs_replace / "
+                                    f"fs_fsync / fsync_dir"
+                                ),
+                            )
+                        )
+                    elif func.attr in TORN_WRITE_METHODS:
+                        violations.append(
+                            Violation(
+                                rule=RULE.name,
+                                path=mf.path,
+                                line=node.lineno,
+                                message=(
+                                    f".{func.attr}() is a torn write (no "
+                                    f"temp file, no fsync, no atomic "
+                                    f"commit); use repro.io.atomic"
+                                ),
+                            )
+                        )
+                    elif func.attr == "open":
+                        found = _check_open_call(node, mf.path, builtin=False)
+                        if found is not None:
+                            violations.append(found)
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="durable-writes",
+        summary="persistent writes go through repro.io.atomic or the fsops seam",
+        explanation=__doc__ or "",
+        check=check,
+    )
+)
