@@ -22,6 +22,17 @@ the run — and the measurements are written as machine-readable JSON
 (``BENCH_counting.json`` by default) via the shared results writer, so CI
 can archive the perf trajectory.
 
+A second regime rides along (skip with ``--skip-low-minsup``): the
+**low-minsup end-to-end comparison**. At thresholds far below the
+ablation's, the candidate family's level-wise passes blow up — the
+candidate sets, not the counting strategy, dominate — which is exactly
+where the pattern-growth engine (``mine --algorithm prefixspan``) earns
+its keep. Each contender mines the same dataset end to end in a
+subprocess under a wall-clock budget (``--low-timeout``), so an apriori
+run that can't finish is recorded as ``timed_out`` instead of hanging
+the benchmark; whenever two runs both complete, their maximal pattern
+sets are cross-checked by count and checksum.
+
 Run:  PYTHONPATH=src python benchmarks/bench_counting_strategies.py
       PYTHONPATH=src python benchmarks/bench_counting_strategies.py \
           --customers 2000 --minsup 0.008 --repeats 5
@@ -30,7 +41,11 @@ Run:  PYTHONPATH=src python benchmarks/bench_counting_strategies.py
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
+import math
 import os
+import subprocess
 import sys
 import time
 from typing import Callable
@@ -46,11 +61,13 @@ from repro.core.counting import (
     count_length2,
     filter_large,
 )
+from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database
 from repro.datagen.params import SyntheticParams
 from repro.db.transform import transform_database
 from repro.itemsets.apriori import find_litemsets
 from repro.itemsets.litemsets import LitemsetCatalog
+from repro.miner import MiningParams, mine
 
 
 def best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -61,6 +78,147 @@ def best_of(repeats: int, fn: Callable[[], object]) -> float:
         fn()
         timings.append(time.perf_counter() - started)
     return min(timings)
+
+
+#: The low-minsup contenders: the apriori flagship under its default and
+#: its fastest counting backend, versus the pattern-growth engine (which
+#: has no counting strategy; "hashtree" is the don't-care default).
+LOWMINSUP_RUNS = (
+    ("aprioriall", "hashtree"),
+    ("aprioriall", "vertical"),
+    ("prefixspan", "hashtree"),
+)
+
+
+def _lowminsup_label(algorithm: str, strategy: str) -> str:
+    return algorithm if algorithm == "prefixspan" else f"{algorithm}/{strategy}"
+
+
+def _child_main(args: argparse.Namespace) -> int:
+    """Hidden ``--run-one`` mode: mine the configured dataset end to end
+    with one (algorithm, strategy) pair and print a single JSON line —
+    the subprocess half of the low-minsup regime."""
+    params = SyntheticParams.from_name(args.dataset, num_customers=args.customers)
+    db = generate_database(params, seed=args.seed)
+    started = time.perf_counter()
+    result = mine(
+        db,
+        MiningParams(
+            minsup=args.low_minsup,
+            algorithm=args.run_one,
+            counting=CountingOptions(strategy=args.run_one_strategy),
+        ),
+    )
+    elapsed = time.perf_counter() - started
+    digest = hashlib.sha256(
+        "\n".join(
+            f"{p.sequence}|{p.count}" for p in result.patterns
+        ).encode()
+    ).hexdigest()[:16]
+    # The maximal filter runs over the identical frequent set whichever
+    # algorithm produced it, so ``discovery_seconds`` (everything before
+    # that shared epilogue) is the number that isolates the engines.
+    print(json.dumps({
+        "seconds": round(elapsed, 6),
+        "discovery_seconds": round(
+            elapsed - result.timings.maximal_seconds, 6
+        ),
+        "patterns": len(result.patterns),
+        "checksum": digest,
+    }))
+    return 0
+
+
+def run_low_minsup_regime(args: argparse.Namespace) -> dict | None:
+    """Run every contender in a budgeted subprocess; return the results
+    row, or ``None`` on failure (crash, mismatch, or a prefixspan
+    timeout — the engine finishing is the point of the regime)."""
+    threshold = max(1, math.ceil(args.low_minsup * args.customers - 1e-9))
+    print(f"\nlow-minsup regime: minsup={args.low_minsup} "
+          f"(threshold ~{threshold} of {args.customers}), "
+          f"{args.low_timeout:.0f}s budget per end-to-end run")
+    outcomes: dict[str, dict] = {}
+    for algorithm, strategy in LOWMINSUP_RUNS:
+        label = _lowminsup_label(algorithm, strategy)
+        command = [
+            sys.executable, os.path.abspath(__file__),
+            "--run-one", algorithm, "--run-one-strategy", strategy,
+            "--dataset", args.dataset,
+            "--customers", str(args.customers),
+            "--seed", str(args.seed),
+            "--low-minsup", str(args.low_minsup),
+        ]
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True,
+                timeout=args.low_timeout,
+            )
+        except subprocess.TimeoutExpired:
+            outcomes[label] = {
+                "timed_out": True,
+                "seconds": round(args.low_timeout, 6),
+                "discovery_seconds": None,
+                "patterns": None,
+                "checksum": None,
+            }
+            print(f"{label:>22}: TIMED OUT after {args.low_timeout:.0f}s")
+            continue
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            print(f"low-minsup run failed: {label}", file=sys.stderr)
+            return None
+        payload = json.loads(proc.stdout.strip().splitlines()[-1])
+        outcomes[label] = {"timed_out": False, **payload}
+        print(f"{label:>22}: {payload['seconds']:>8.3f}s end-to-end "
+              f"({payload['discovery_seconds']:.3f}s discovery), "
+              f"{payload['patterns']} maximal patterns")
+
+    answers = {
+        (o["patterns"], o["checksum"])
+        for o in outcomes.values() if not o["timed_out"]
+    }
+    if len(answers) > 1:
+        print("PATTERN MISMATCH across completed low-minsup runs",
+              file=sys.stderr)
+        return None
+    engine = outcomes["prefixspan"]
+    if engine["timed_out"]:
+        print("prefixspan itself timed out — the low-minsup regime is "
+              "meaningless; raise --low-timeout or --low-minsup",
+              file=sys.stderr)
+        return None
+    apriori = {
+        label: o for label, o in outcomes.items() if label != "prefixspan"
+    }
+    completed = {k: o for k, o in apriori.items() if not o["timed_out"]}
+    if completed:
+        speedup = (
+            min(o["seconds"] for o in completed.values())
+            / engine["seconds"]
+        )
+        discovery_speedup = (
+            min(o["discovery_seconds"] for o in completed.values())
+            / engine["discovery_seconds"]
+        )
+        print(f"prefixspan speedup over best completed apriori run: "
+              f"{speedup:.2f}x end-to-end, {discovery_speedup:.2f}x on "
+              "discovery (the maximal filter is shared work)")
+    else:
+        speedup = discovery_speedup = None
+        print(f"every apriori run hit the {args.low_timeout:.0f}s budget; "
+              f"prefixspan finished in {engine['seconds']:.3f}s")
+    return {
+        "pass": "lowminsup",
+        "candidates": None,
+        "minsup": args.low_minsup,
+        "timeout_seconds": args.low_timeout,
+        "runs": outcomes,
+        "prefixspan_speedup_over_best_apriori":
+            round(speedup, 3) if speedup is not None else None,
+        "prefixspan_discovery_speedup_over_best_apriori":
+            round(discovery_speedup, 3)
+            if discovery_speedup is not None else None,
+    }
 
 
 def main() -> int:
@@ -79,7 +237,24 @@ def main() -> int:
                         "thresholds, where the naive pass never finishes)")
     parser.add_argument("--output", default="BENCH_counting.json",
                         help="machine-readable results file")
+    parser.add_argument("--low-minsup", type=float, default=0.008,
+                        help="minsup for the end-to-end low-minsup regime "
+                        "(apriori family vs the prefixspan engine)")
+    parser.add_argument("--low-timeout", type=float, default=120.0,
+                        help="wall-clock budget per low-minsup run; an "
+                        "apriori run that exceeds it is recorded as "
+                        "timed_out rather than hanging the benchmark")
+    parser.add_argument("--skip-low-minsup", action="store_true",
+                        help="skip the end-to-end low-minsup regime")
+    # Internal: the subprocess half of the low-minsup regime.
+    parser.add_argument("--run-one", choices=[a for a, _ in LOWMINSUP_RUNS],
+                        default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--run-one-strategy", default="hashtree",
+                        help=argparse.SUPPRESS)
     args = parser.parse_args()
+
+    if args.run_one is not None:
+        return _child_main(args)
 
     print(f"machine: {os.cpu_count()} CPUs")
     print(f"dataset: {args.dataset}, |D|={args.customers}, minsup={args.minsup}")
@@ -222,6 +397,11 @@ def main() -> int:
         "bitset_speedup_over_hashtree": round(speedups["bitset"], 3),
         "vertical_speedup_over_hashtree": round(speedups["vertical"], 3),
     })
+    if not args.skip_low_minsup:
+        low_row = run_low_minsup_regime(args)
+        if low_row is None:
+            return 1
+        rows.append(low_row)
     write_bench_json(
         args.output,
         "counting_strategies",

@@ -10,8 +10,11 @@ paper's evaluation figures — plus the production-minded layers grown on
 top: pluggable counting backends (:mod:`repro.core.counting`), sharded
 parallel counting (:mod:`repro.parallel`), out-of-core partitioned
 storage (:mod:`repro.db.partitioned`), GSP-style time constraints
-(:mod:`repro.extensions.timeconstraints`), and incremental mining over
-appended deltas (:mod:`repro.incremental`).
+(:mod:`repro.extensions.timeconstraints`), incremental mining over
+appended deltas (:mod:`repro.incremental`), and a pattern-growth
+engine — PrefixSpan with pseudo-projection and out-of-core streaming
+(:mod:`repro.core.prefixspan`) — as a fourth algorithm whose output is
+byte-identical to the candidate family's.
 
 Quickstart::
 
@@ -34,8 +37,10 @@ move between versions.
 """
 
 from repro.core.apriorisome import NextLengthPolicy
+from repro.core.prefixspan import PrefixSpanResult, mine_prefixspan
 from repro.miner import (
     ALGORITHM_NAMES,
+    ALL_ALGORITHM_NAMES,
     AlgorithmName,
     MiningParams,
     MiningResult,
@@ -63,6 +68,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "ALL_ALGORITHM_NAMES",
     "AlgorithmName",
     "CountingOptions",
     "CustomerSequence",
@@ -73,6 +79,7 @@ __all__ = [
     "NextLengthPolicy",
     "PartitionedDatabase",
     "Pattern",
+    "PrefixSpanResult",
     "Sequence",
     "SequenceDatabase",
     "SyntheticParams",
@@ -85,6 +92,7 @@ __all__ = [
     "make_itemset",
     "mine",
     "mine_from_transactions",
+    "mine_prefixspan",
     "mine_sequential_patterns",
     "parse_sequence",
     "support_threshold",

@@ -26,6 +26,19 @@ Earliest-match positions dominate all alternatives for both extension
 kinds, so the greedy projection is lossless. PrefixSpan reports **all**
 frequent sequences; apply :func:`repro.core.maximal.maximal_sequences`
 to compare with the 1995 answer (the miner's ``maximal=True`` does it).
+
+The projection/scan helpers are shared with the production engine
+(:mod:`repro.core.prefixspan`), so the two implementations see the
+identical projected view of a database; what stays independent — and is
+what the differential oracle leans on — is the *search itself* (this
+module recurses depth-first with per-prefix projection scans; the engine
+grows a level-synchronous frontier with two streaming sweeps per round).
+The database is consumed in two streaming scans: an item-support scan
+that retains nothing but a counter, and one materializing scan that
+keeps only the frequent-item projection — never the raw database, so a
+disk-backed :class:`~repro.db.partitioned.PartitionedDatabase` is
+scanned via its merge-free unordered stream instead of paying a full
+K-way-merge materialization.
 """
 
 from __future__ import annotations
@@ -34,13 +47,19 @@ from collections import Counter
 from typing import Iterable
 
 from repro.core.maximal import maximal_sequences
+from repro.core.prefixspan import (
+    count_item_supports,
+    first_event_containing,
+    first_event_with_item,
+    project_events,
+)
+from repro.core.protocols import SequenceDatabaseLike
 from repro.miner import Pattern
 from repro.core.sequence import Sequence
-from repro.db.database import SequenceDatabase
 
 
 def prefixspan_mine(
-    db: SequenceDatabase,
+    db: SequenceDatabaseLike,
     minsup: float,
     *,
     max_pattern_length: int | None = None,
@@ -53,24 +72,32 @@ def prefixspan_mine(
     sequences — the 1995 paper's answer set.
     """
     threshold = db.threshold(minsup)
-    customers = [
-        tuple(frozenset(event) for event in customer.events) for customer in db
-    ]
     results: dict[tuple[frozenset[int], ...], int] = {}
 
-    # Length-1 seeds: frequent single items.
-    item_counts: Counter = Counter()
-    for events in customers:
-        seen: set[int] = set()
-        for event in events:
-            seen |= event
-        for item in seen:
-            item_counts[item] += 1
+    # Scan 1 (streaming): per-item customer supports — the length-1
+    # seeds. Shared with the engine; retains only the counter.
+    item_counts = count_item_supports(db)
+    frequent_items = frozenset(
+        item for item, count in item_counts.items() if count >= threshold
+    )
 
-    for item in sorted(item for item, c in item_counts.items() if c >= threshold):
+    # Scan 2 (streaming): keep only each customer's frequent-item
+    # projection (infrequent items can appear in no frequent pattern;
+    # events left empty are dropped). Unordered is fine — projection
+    # scans below are order-independent — and lets a partitioned
+    # database stream partition files directly, skipping the merge.
+    unordered = getattr(db, "iter_unordered", None)
+    stream = unordered() if unordered is not None else iter(db)
+    customers: list[tuple[frozenset[int], ...]] = []
+    for customer in stream:
+        events = project_events(customer.events, frequent_items)
+        if events:
+            customers.append(events)
+
+    for item in sorted(frequent_items):
         projection = []
         for cust_index, events in enumerate(customers):
-            position = _first_event_with(events, frozenset((item,)), 0)
+            position = first_event_with_item(events, item, 0)
             if position is not None:
                 projection.append((cust_index, position))
         prefix = (frozenset((item,)),)
@@ -100,15 +127,6 @@ def prefixspan_mine(
     return patterns
 
 
-def _first_event_with(
-    events: tuple[frozenset[int], ...], needed: frozenset[int], start: int
-) -> int | None:
-    for index in range(start, len(events)):
-        if needed <= events[index]:
-            return index
-    return None
-
-
 def _grow(
     prefix: tuple[frozenset[int], ...],
     projection: list[tuple[int, int]],
@@ -123,8 +141,8 @@ def _grow(
         max_pattern_length is None or len(prefix) < max_pattern_length
     )
 
-    s_counts: Counter = Counter()
-    i_counts: Counter = Counter()
+    s_counts: Counter[int] = Counter()
+    i_counts: Counter[int] = Counter()
     for cust_index, position in projection:
         events = customers[cust_index]
         if can_s_extend:
@@ -147,7 +165,7 @@ def _grow(
         extended_event = last_event | {item}
         new_projection = []
         for cust_index, position in projection:
-            new_position = _first_event_with(
+            new_position = first_event_containing(
                 customers[cust_index], extended_event, position
             )
             if new_position is not None:
@@ -169,8 +187,8 @@ def _grow(
         needed = frozenset((item,))
         new_projection = []
         for cust_index, position in projection:
-            new_position = _first_event_with(
-                customers[cust_index], needed, position + 1
+            new_position = first_event_with_item(
+                customers[cust_index], item, position + 1
             )
             if new_position is not None:
                 new_projection.append((cust_index, new_position))
@@ -187,7 +205,7 @@ def _grow(
 
 
 def prefixspan_frequent_set(
-    db: SequenceDatabase, minsup: float
+    db: SequenceDatabaseLike, minsup: float
 ) -> dict[Sequence, int]:
     """Convenience: the full frequent set as a {Sequence: count} map."""
     return {

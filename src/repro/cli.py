@@ -31,7 +31,7 @@ import sys
 from typing import Any, Sequence as PySequence
 
 from repro.analysis.compare import pattern_length_histogram
-from repro.miner import ALGORITHM_NAMES, MiningParams, MiningResult, mine
+from repro.miner import ALL_ALGORITHM_NAMES, MiningParams, MiningResult, mine
 from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database, iter_customer_sequences
 from repro.datagen.params import SyntheticParams
@@ -246,6 +246,26 @@ def _mine_run_config(args: argparse.Namespace) -> dict[str, Any]:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.algorithm == "prefixspan":
+        # Pattern growth has no candidate counting passes, so the
+        # counting-pass knobs would be silently dead — reject them
+        # loudly instead (same policy as the partition sizing flags).
+        if args.checkpoint_dir is not None:
+            raise ValueError(
+                "--checkpoint-dir does not apply to --algorithm "
+                "prefixspan: pattern growth has no counting passes to "
+                "checkpoint"
+            )
+        if args.strategy is not None:
+            raise ValueError(
+                "--strategy does not apply to --algorithm prefixspan: "
+                "pattern growth never counts candidates"
+            )
+        if args.save_state:
+            raise ValueError(
+                "--save-state requires an apriori-family algorithm: "
+                "prefixspan does not build incremental mining state"
+            )
     if args.save_state and args.partition_dir is None:
         raise ValueError(
             "--save-state requires --partition-dir: the snapshot is "
@@ -265,7 +285,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         dynamic_step=args.dynamic_step,
         max_pattern_length=args.max_length,
         counting=CountingOptions(
-            strategy=args.strategy,
+            # ``--strategy`` defaults to None so an *explicit* flag is
+            # distinguishable from the default (prefixspan rejects the
+            # former above); the counting engines see "hashtree" either
+            # way.
+            strategy=args.strategy if args.strategy is not None else "hashtree",
             workers=args.workers,
             chunk_size=args.chunk_size,
             checkpoint=checkpoint,
@@ -415,7 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="seqmine",
         description="Mining Sequential Patterns (Agrawal & Srikant, ICDE 1995) "
-        "— AprioriAll / AprioriSome / DynamicSome",
+        "— AprioriAll / AprioriSome / DynamicSome / PrefixSpan",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -457,20 +481,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "(requires --partition-dir, excludes --partitions)")
     mine_cmd.add_argument("--minsup", type=float, required=True,
                           help="minimum support as a fraction, e.g. 0.01")
-    mine_cmd.add_argument("--algorithm", choices=ALGORITHM_NAMES,
+    mine_cmd.add_argument("--algorithm", choices=ALL_ALGORITHM_NAMES,
                           default="aprioriall")
     mine_cmd.add_argument("--dynamic-step", type=int, default=2)
     mine_cmd.add_argument("--max-length", type=int, default=None)
     mine_cmd.add_argument("--strategy",
                           choices=("hashtree", "naive", "bitset", "vertical"),
-                          default="hashtree",
-                          help="support-counting backend: the paper's "
-                          "candidate hash tree, the quadratic reference, "
-                          "the bitset-compiled database (compile "
-                          "customers once, count with integer bit-ops), "
-                          "or the vertical id-list format (invert once, "
-                          "count each candidate by joining its parents' "
-                          "memoized support lists — no database scan)")
+                          default=None,
+                          help="support-counting backend (default "
+                          "hashtree): the paper's candidate hash tree, "
+                          "the quadratic reference, the bitset-compiled "
+                          "database (compile customers once, count with "
+                          "integer bit-ops), or the vertical id-list "
+                          "format (invert once, count each candidate by "
+                          "joining its parents' memoized support lists — "
+                          "no database scan). Does not apply to "
+                          "--algorithm prefixspan, which never counts "
+                          "candidates")
     mine_cmd.add_argument("--workers", type=int, default=1,
                           help="worker processes for support counting "
                           "(1 = serial, 0 = all CPUs)")
@@ -480,7 +507,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "on the path: customers for the in-memory "
                           "scanning strategies, candidates for "
                           "--strategy vertical, partitions with "
-                          "--partition-dir")
+                          "--partition-dir, frequent seed items for "
+                          "--algorithm prefixspan")
     mine_cmd.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                           help="record each completed counting pass "
                           "durably in DIR; after a crash, 'seqmine "

@@ -20,6 +20,12 @@ the sequence phase delegating to AprioriAll, AprioriSome or DynamicSome
 per :class:`MiningParams`. All three algorithms yield the same patterns;
 they differ in how much counting work they do, which the attached
 :class:`~repro.core.stats.AlgorithmStats` records.
+
+A fourth algorithm, ``"prefixspan"``, bypasses the candidate pipeline
+entirely and mines by pattern growth (:mod:`repro.core.prefixspan`);
+its maximal output is byte-identical to the candidate family's, but the
+candidate-only knobs — counting strategies, pass checkpoints,
+incremental state — do not apply and are rejected loudly.
 """
 
 from __future__ import annotations
@@ -37,24 +43,46 @@ from repro.core.apriorisome import NextLengthPolicy, apriori_some
 from repro.core.dynamicsome import dynamic_some
 from repro.core.maximal import maximal_sequences, sequence_of_events
 from repro.core.phase import CountingOptions, SequencePhaseResult
+from repro.core.prefixspan import mine_prefixspan
 from repro.core.sequence import Sequence
 from repro.core.stats import AlgorithmStats, PhaseTimings
 from repro.db.database import SequenceDatabase
 from repro.db.records import Transaction
 from repro.db.transform import TransformedDatabase, transform_database
-from repro.itemsets.apriori import LitemsetResult, find_litemsets
+from repro.itemsets.apriori import (
+    LitemsetPassStats,
+    LitemsetResult,
+    find_litemsets,
+)
 from repro.itemsets.litemsets import LitemsetCatalog
 
-AlgorithmName = Literal["aprioriall", "apriorisome", "dynamicsome"]
+AlgorithmName = Literal[
+    "aprioriall", "apriorisome", "dynamicsome", "prefixspan"
+]
 
+#: The paper's candidate-generation family. Knobs that only make sense
+#: for candidate counting — counting strategies, pass checkpoints,
+#: ``dynamic_step``, incremental state — are defined over exactly these;
+#: tests and benches that exercise those knobs parametrize over this
+#: tuple.
 ALGORITHM_NAMES: tuple[AlgorithmName, ...] = (
     "aprioriall",
     "apriorisome",
     "dynamicsome",
 )
 
+#: Every mining algorithm, the pattern-growth engine included. All four
+#: produce byte-identical maximal patterns (the differential-oracle
+#: suite holds them to it); ``"prefixspan"`` differs in *how* — no
+#: candidate generation, no transformed database, no counting
+#: strategies (see :mod:`repro.core.prefixspan`).
+ALL_ALGORITHM_NAMES: tuple[AlgorithmName, ...] = ALGORITHM_NAMES + (
+    "prefixspan",
+)
+
 __all__ = [
     "ALGORITHM_NAMES",
+    "ALL_ALGORITHM_NAMES",
     "AlgorithmName",
     "MiningParams",
     "MiningResult",
@@ -80,13 +108,28 @@ class MiningParams:
     def __post_init__(self) -> None:
         if not 0.0 < self.minsup <= 1.0:
             raise ValueError(f"minsup must be in (0, 1], got {self.minsup}")
-        if self.algorithm not in ALGORITHM_NAMES:
+        if self.algorithm not in ALL_ALGORITHM_NAMES:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; "
-                f"expected one of {ALGORITHM_NAMES}"
+                f"expected one of {ALL_ALGORITHM_NAMES}"
             )
         if self.dynamic_step < 1:
             raise ValueError("dynamic_step must be >= 1")
+        if self.algorithm == "prefixspan":
+            # Pattern growth has no candidate counting passes: a
+            # checkpoint store would never record anything and a
+            # non-default counting strategy would never run. Reject both
+            # loudly rather than silently ignore the knob.
+            if self.counting.checkpoint is not None:
+                raise ValueError(
+                    "prefixspan has no counting passes to checkpoint; "
+                    "drop the checkpoint or use an apriori-family algorithm"
+                )
+            if self.counting.strategy != "hashtree":
+                raise ValueError(
+                    "counting strategies do not apply to prefixspan; "
+                    "drop the strategy or use an apriori-family algorithm"
+                )
 
     def with_(self, **changes: Any) -> "MiningParams":
         """A copy with the given fields replaced."""
@@ -179,6 +222,91 @@ def _sequence_phase_runner(
     )
 
 
+def _mine_with_prefixspan(
+    db: "SequenceDatabase | PartitionedDatabase",
+    params: MiningParams,
+    *,
+    sort_seconds: float,
+) -> MiningResult:
+    """The pattern-growth pipeline behind ``algorithm="prefixspan"``.
+
+    PrefixSpan has no litemset/transform/candidate phases of its own, so
+    the paper's phase structure is mapped onto what it does do: the
+    length-1 seed scan is reported as the litemset phase (its supports
+    *are* the large-itemset supports — every large itemset appears as a
+    single-event frequent sequence), growth as the sequence phase, the
+    shared maximal filter as the maximal phase, transform as zero. The
+    result is a fully populated :class:`MiningResult` whose patterns are
+    byte-identical to the candidate family's.
+    """
+    threshold = db.threshold(params.minsup)
+
+    started = time.perf_counter()
+    grown = mine_prefixspan(
+        db,
+        params.minsup,
+        max_pattern_length=params.max_pattern_length,
+        workers=params.counting.workers,
+        chunk_size=params.counting.chunk_size,
+    )
+    sequence_seconds = time.perf_counter() - started - grown.seed_seconds
+
+    started = time.perf_counter()
+    maximal = maximal_sequences(grown.frequent)
+    patterns = sorted(
+        (
+            Pattern(
+                sequence=sequence_of_events(events),
+                count=count,
+                support=count / db.num_customers if db.num_customers else 0.0,
+            )
+            for events, count in maximal.items()
+        ),
+        key=lambda p: p.sequence.sort_key(),
+    )
+    maximal_seconds = time.perf_counter() - started
+
+    supports = grown.litemset_supports()
+    large_itemsets_by_size: dict[int, int] = {}
+    for itemset in supports:
+        size = len(itemset)
+        large_itemsets_by_size[size] = large_itemsets_by_size.get(size, 0) + 1
+    litemset_result = LitemsetResult(
+        supports=supports,
+        passes=tuple(
+            LitemsetPassStats(
+                length=size,
+                # Pattern growth never generates candidates: only the
+                # single-item scan has an honest candidate count.
+                num_candidates=(
+                    len(grown.item_counts) if size == 1 else num_large
+                ),
+                num_large=num_large,
+            )
+            for size, num_large in sorted(large_itemsets_by_size.items())
+        ),
+        item_counts=grown.item_counts,
+    )
+
+    return MiningResult(
+        patterns=patterns,
+        num_customers=db.num_customers,
+        threshold=threshold,
+        params=params,
+        timings=PhaseTimings(
+            sort_seconds=sort_seconds,
+            litemset_seconds=grown.seed_seconds,
+            transform_seconds=0.0,
+            sequence_seconds=sequence_seconds,
+            maximal_seconds=maximal_seconds,
+        ),
+        algorithm_stats=grown.stats,
+        litemset_result=litemset_result,
+        large_counts_by_length=grown.counts_by_length(),
+        state=None,
+    )
+
+
 def mine(
     db: "SequenceDatabase | PartitionedDatabase",
     params: MiningParams,
@@ -200,6 +328,13 @@ def mine(
     run updatable by :func:`repro.incremental.update.update_mining`
     after the database grows (see :mod:`repro.incremental`).
     """
+    if params.algorithm == "prefixspan":
+        if collect_state:
+            raise ValueError(
+                "prefixspan does not build incremental mining state; "
+                "use an apriori-family algorithm with collect_state=True"
+            )
+        return _mine_with_prefixspan(db, params, sort_seconds=sort_seconds)
     threshold = db.threshold(params.minsup)
 
     started = time.perf_counter()

@@ -92,7 +92,13 @@ if TYPE_CHECKING:
     from multiprocessing.context import BaseContext
 
     from repro.core.counting import CountableSequences
-    from repro.core.protocols import CandidateParents, CountingStrategy, IdSequence
+    from repro.core.maximal import EventsTuple
+    from repro.core.protocols import (
+        CandidateParents,
+        CountingStrategy,
+        IdSequence,
+        SequenceDatabaseLike,
+    )
     from repro.extensions.timeconstraints import TimeConstraints
 
 #: Dispatch attempts per shard (first try included) before the shard
@@ -446,6 +452,83 @@ def parallel_count_length2(
         sequences, workers, chunk_size, "length2", (), _count_length2_shard
     )
     return merge_counts(per_shard)
+
+
+# --- PrefixSpan seed-sharded pattern growth -----------------------------
+
+
+def _prefixspan_shard(bounds: tuple[int, int]) -> dict:
+    """One seed shard of a pattern-growth run: the whole (projected or
+    partition-described) database, a disjoint range of the frequent
+    length-1 seed items. Every pattern is grown from exactly one seed —
+    the smallest item of its first event — so shard results never
+    overlap and the merge is plain union."""
+    from repro.core.prefixspan import grow_seed_range
+
+    seeds, frequent_items, threshold, max_pattern_length = _STATE["prefixspan"]
+    return grow_seed_range(
+        _SEQUENCES,
+        seeds[bounds[0] : bounds[1]],
+        frequent_items,
+        threshold,
+        max_pattern_length,
+    )
+
+
+def parallel_prefixspan(
+    db: "SequenceDatabaseLike",
+    seed_items: PySequence[int],
+    frequent_items: frozenset[int],
+    threshold: int,
+    max_pattern_length: int | None,
+    *,
+    workers: int = 0,
+    chunk_size: int | None = None,
+) -> "dict[EventsTuple, int]":
+    """Sharded-parallel pattern growth: seed items across a process pool.
+
+    Each worker grows the complete frequent subtree of its seed range
+    with :func:`repro.core.prefixspan.grow_seed_range`. An in-memory
+    database is projected to the frequent items once, in the parent
+    (workers inherit the projection copy-on-write under ``fork``); a
+    partitioned database ships as its path-holding description and every
+    worker streams its own partitions from disk, so the out-of-core
+    memory contract is unchanged. ``chunk_size`` means seeds per shard;
+    ``workers == 1`` (or a single shard) grows in-process. The merged
+    union equals the serial engine's output exactly for every setting,
+    and shards ride :func:`_run_sharded`'s retry/degrade fault tolerance.
+    """
+    from repro.core.prefixspan import grow_seed_range, project_events
+    from repro.core.protocols import PartitionedRecordStream
+
+    workers = resolve_workers(workers)
+    seeds = list(seed_items)
+    data: Any
+    if isinstance(db, PartitionedRecordStream):
+        data = db
+    else:
+        data = []
+        for customer in db:
+            events = project_events(customer.events, frequent_items)
+            if events:
+                data.append(events)
+    if (
+        not seeds
+        or workers == 1
+        or len(shard_bounds(len(seeds), workers, chunk_size)) == 1
+    ):
+        return grow_seed_range(
+            data, seeds, frequent_items, threshold, max_pattern_length
+        )
+    state = (seeds, frequent_items, threshold, max_pattern_length)
+    per_shard = _run_sharded(
+        data, workers, chunk_size, "prefixspan", state, _prefixspan_shard,
+        num_items=len(seeds),
+    )
+    merged: "dict[EventsTuple, int]" = {}
+    for counts in per_shard:
+        merged.update(counts)
+    return merged
 
 
 # --- Time-constrained containment counting ------------------------------

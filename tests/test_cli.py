@@ -130,6 +130,92 @@ class TestMine:
         assert code == 1
 
 
+class TestMinePrefixSpan:
+    def test_mine_prefixspan_matches_aprioriall(self, paper_spmf, capsys):
+        outputs = []
+        for algorithm in ("aprioriall", "prefixspan"):
+            code = main([
+                "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+                "--algorithm", algorithm,
+            ])
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "<(30)(90)>" in outputs[1]
+
+    def test_mine_prefixspan_partitioned_and_parallel(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--algorithm", "prefixspan",
+            "--partition-dir", str(tmp_path / "parts"),
+            "--partitions", "2", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<(30)(90)>" in out
+        assert "<(30)(40 70)>" in out
+
+    def _assert_one_line_error(self, capsys, code, needle):
+        assert code == 1
+        err_lines = capsys.readouterr().err.splitlines()
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error: ")
+        assert needle in err_lines[0]
+
+    def test_checkpoint_dir_rejected(self, paper_spmf, tmp_path, capsys):
+        """Pattern growth has no counting passes to checkpoint; the flag
+        must fail fast (one-line stderr, exit 1), not silently no-op —
+        and must not create the checkpoint directory."""
+        ckpt = tmp_path / "ckpt"
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--algorithm", "prefixspan", "--checkpoint-dir", str(ckpt),
+        ])
+        self._assert_one_line_error(capsys, code, "--checkpoint-dir")
+        assert not ckpt.exists()
+
+    @pytest.mark.parametrize(
+        "strategy", ["hashtree", "naive", "bitset", "vertical"]
+    )
+    def test_explicit_strategy_rejected(self, paper_spmf, capsys, strategy):
+        """Any explicit --strategy is dead with prefixspan — even the
+        default name, because the flag's presence signals an intent the
+        engine cannot honor."""
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--algorithm", "prefixspan", "--strategy", strategy,
+        ])
+        self._assert_one_line_error(capsys, code, "--strategy")
+
+    def test_save_state_rejected(self, paper_spmf, tmp_path, capsys):
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--algorithm", "prefixspan",
+            "--partition-dir", str(tmp_path / "parts"),
+            "--save-state",
+        ])
+        self._assert_one_line_error(capsys, code, "--save-state")
+
+    def test_resume_roundtrip_with_default_strategy(
+        self, paper_spmf, tmp_path, capsys
+    ):
+        """--strategy now defaults to None (the prefixspan sentinel);
+        the checkpoint config must round-trip through resume unchanged
+        for the apriori family."""
+        ckpt = tmp_path / "ckpt"
+        code = main([
+            "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+            "--checkpoint-dir", str(ckpt),
+        ])
+        assert code == 0
+        first = capsys.readouterr().out
+        code = main(["resume", "--checkpoint-dir", str(ckpt)])
+        assert code == 0
+        assert capsys.readouterr().out == first
+
+
 class TestMinePartitioned:
     def test_mine_with_partition_dir_matches_in_memory(
         self, paper_spmf, tmp_path, capsys

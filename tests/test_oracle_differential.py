@@ -1,13 +1,15 @@
 """Differential-oracle suite: every backend against two independent baselines.
 
 The cross-product the rest of the suite only samples: AprioriAll,
-AprioriSome and DynamicSome × all four counting strategies × serial and
+AprioriSome, DynamicSome and the PrefixSpan engine × all four counting
+strategies (the candidate family; pattern growth has none) × serial and
 ``workers=2`` × in-memory and disk-partitioned, each required to report
 the *identical* maximal pattern set with identical support counts as
 
 * ``baselines/bruteforce.py`` — the exhaustive enumeration oracle, and
 * ``baselines/prefixspan.py`` — an independently-implemented
-  pattern-growth miner sharing no code path with the Apriori family,
+  pattern-growth miner sharing no code path with the Apriori family
+  (and only projection *helpers*, not the search, with the engine),
 
 on small datagen-generated databases with pinned seeds (the generator is
 deterministic per (params, seed), so every run of this suite checks the
@@ -22,7 +24,7 @@ from hypothesis import strategies as st
 from repro.baselines.bruteforce import brute_force_mine
 from repro.baselines.prefixspan import prefixspan_mine
 from repro.core.counting import COUNTING_STRATEGIES
-from repro.miner import ALGORITHM_NAMES, MiningParams, mine
+from repro.miner import ALGORITHM_NAMES, ALL_ALGORITHM_NAMES, MiningParams, mine
 from repro.core.phase import CountingOptions
 from repro.datagen.generator import generate_database
 from repro.datagen.params import SyntheticParams
@@ -48,7 +50,7 @@ TINY_PARAMS = SyntheticParams(
 )
 
 
-def answer(db, algorithm, strategy, workers=1):
+def answer(db, algorithm, strategy="hashtree", workers=1):
     result = mine(
         db,
         MiningParams(
@@ -115,6 +117,27 @@ def test_partitioned_algorithms_match_oracle(tmp_path, pinned, algorithm):
     assert answer(pdb, algorithm, "bitset") == oracle
 
 
+@pytest.mark.parametrize("workers", [1, 2])
+def test_prefixspan_engine_matches_oracle(pinned, workers):
+    """The pattern-growth engine, serial and seed-sharded, in-memory."""
+    db, oracle, _prefixspan = pinned
+    assert answer(db, "prefixspan", workers=workers) == oracle
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_prefixspan_engine_partitioned_matches_oracle(
+    tmp_path, pinned, workers
+):
+    """The engine's out-of-core streaming path joins the differential:
+    the projection sweeps re-read binlog partitions instead of holding
+    the database, and the answer must not change — serial or sharded."""
+    db, oracle, _prefixspan = pinned
+    pdb = PartitionedDatabase.from_database(
+        db, tmp_path / "parts", partitions=3
+    )
+    assert answer(pdb, "prefixspan", workers=workers) == oracle
+
+
 @given(
     customer_events=st.lists(
         my.event_lists(max_item=5, max_size=2, max_events=3),
@@ -144,13 +167,19 @@ def test_property_random_databases_match_oracle(
     """
     db = SequenceDatabase.from_sequences(customer_events)
     oracle = brute_force_mine(db, minsup)
-    for algorithm in ALGORITHM_NAMES:
+    for algorithm in ALL_ALGORITHM_NAMES:
         result = mine(
             db,
             MiningParams(
                 minsup=minsup,
                 algorithm=algorithm,
-                counting=CountingOptions(strategy=strategy),
+                counting=CountingOptions(
+                    # Counting strategies only exist for the candidate
+                    # family; the pattern-growth engine rejects any
+                    # non-default value.
+                    strategy="hashtree" if algorithm == "prefixspan"
+                    else strategy,
+                ),
             ),
         )
         assert [(p.sequence, p.count) for p in result.patterns] == oracle

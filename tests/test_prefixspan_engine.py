@@ -1,0 +1,391 @@
+"""The production PrefixSpan engine (:mod:`repro.core.prefixspan`).
+
+Four layers of evidence, mirroring how the engine is wired in:
+
+* **Unit**: paper example, projection helpers, result accessors,
+  validation, and the pseudo-projection invariants.
+* **Differential**: the engine against the independent depth-first
+  baseline on random databases (the searches share projection helpers
+  but nothing else), across ``max_pattern_length`` caps.
+* **Storage/parallel equivalence**: partitioned (out-of-core streaming)
+  and seed-sharded parallel runs must be byte-identical to the serial
+  in-memory run.
+* **Boundary pins**: the exact ``len(prefix) == max_pattern_length``
+  semantics (s-extensions blocked, i-extensions allowed — the cap
+  counts *events*) and the ``support_threshold`` rounding boundaries,
+  agreed across all four algorithms.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.prefixspan import prefixspan_mine
+from repro.core.maximal import maximal_sequences
+from repro.core.prefixspan import (
+    count_item_supports,
+    first_event_containing,
+    first_event_with_item,
+    grow_seed_range,
+    mine_prefixspan,
+    project_events,
+)
+from repro.core.protocols import PartitionedRecordStream
+from repro.db.database import SequenceDatabase, support_threshold
+from repro.db.partitioned import PartitionedDatabase
+from repro.miner import ALL_ALGORITHM_NAMES, MiningParams, mine
+from tests import strategies as my
+from tests.test_database import paper_db
+
+
+def frequent_of(db, minsup, **kwargs):
+    return mine_prefixspan(db, minsup, **kwargs).frequent
+
+
+def baseline_frequent(db, minsup, max_pattern_length=None):
+    return {
+        tuple(frozenset(event) for event in p.sequence): p.count
+        for p in prefixspan_mine(
+            db, minsup, max_pattern_length=max_pattern_length
+        )
+    }
+
+
+class TestHelpers:
+    def test_project_events_filters_and_drops_empty(self):
+        events = [(1, 2), (3,), (2, 4)]
+        assert project_events(events, frozenset({2, 4})) == (
+            frozenset({2}),
+            frozenset({2, 4}),
+        )
+
+    def test_project_events_keeps_order(self):
+        events = [(5,), (1,), (5, 1)]
+        assert project_events(events, frozenset({1, 5})) == (
+            frozenset({5}),
+            frozenset({1}),
+            frozenset({1, 5}),
+        )
+
+    def test_first_event_probes(self):
+        events = (frozenset({1}), frozenset({1, 2}), frozenset({2, 3}))
+        assert first_event_with_item(events, 2, 0) == 1
+        assert first_event_with_item(events, 2, 2) == 2
+        assert first_event_with_item(events, 9, 0) is None
+        assert first_event_containing(events, frozenset({1, 2}), 0) == 1
+        assert first_event_containing(events, frozenset({1, 2}), 2) is None
+
+    def test_count_item_supports_is_per_customer(self):
+        db = SequenceDatabase.from_sequences(
+            [[(1,), (1,), (1, 2)], [(2,)]]
+        )
+        counts = count_item_supports(db)
+        assert counts == {1: 1, 2: 2}
+
+
+class TestEngine:
+    def test_paper_example_maximal(self):
+        result = mine_prefixspan(paper_db(), 0.25)
+        maximal = maximal_sequences(result.frequent)
+        rendered = sorted(
+            tuple(tuple(sorted(event)) for event in events)
+            for events in maximal
+        )
+        assert rendered == [((30,), (40, 70)), ((30,), (90,))]
+
+    def test_paper_example_matches_baseline_exactly(self):
+        db = paper_db()
+        assert frequent_of(db, 0.25) == baseline_frequent(db, 0.25)
+
+    def test_empty_database(self):
+        result = mine_prefixspan(SequenceDatabase([]), 0.5)
+        assert result.frequent == {}
+        assert result.num_customers == 0
+
+    def test_no_frequent_items(self):
+        db = SequenceDatabase.from_sequences([[(1,)], [(2,)], [(3,)]])
+        assert frequent_of(db, 1.0) == {}
+
+    def test_minsup_validation(self):
+        db = paper_db()
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                mine_prefixspan(db, bad)
+        with pytest.raises(ValueError):
+            mine_prefixspan(db, 0.5, max_pattern_length=0)
+
+    def test_result_accessors(self):
+        db = paper_db()
+        result = mine_prefixspan(db, 0.25)
+        # Every large itemset surfaces as a single-event frequent
+        # sequence, so the litemset surrogate matches the real phase.
+        from repro.itemsets.apriori import find_litemsets
+
+        litemsets = find_litemsets(db, 0.25)
+        assert result.litemset_supports() == dict(litemsets.supports)
+        by_length = result.counts_by_length()
+        assert by_length[1] == sum(
+            1 for events in result.frequent if len(events) == 1
+        )
+        assert sum(by_length.values()) == len(result.frequent)
+
+    def test_stats_record_seed_and_growth_rounds(self):
+        result = mine_prefixspan(paper_db(), 0.25)
+        phases = [p.phase for p in result.stats.passes]
+        assert phases[0] == "items"
+        assert all(phase == "growth" for phase in phases[1:])
+        assert len(phases) > 1
+
+    def test_grow_seed_range_is_disjoint_union(self):
+        db = paper_db()
+        result = mine_prefixspan(db, 0.25)
+        threshold = db.threshold(0.25)
+        seeds = sorted(
+            item
+            for item, count in count_item_supports(db).items()
+            if count >= threshold
+        )
+        frequent_items = frozenset(seeds)
+        merged = {}
+        for seed in seeds:
+            part = grow_seed_range(
+                db, [seed], frequent_items, threshold, None
+            )
+            assert not (merged.keys() & part.keys())
+            merged.update(part)
+        assert merged == result.frequent
+
+
+class TestDifferentialAgainstBaseline:
+    @given(
+        customer_events=st.lists(
+            my.event_lists(max_item=6, max_size=3, max_events=4),
+            min_size=1,
+            max_size=6,
+        ),
+        minsup=st.sampled_from([0.2, 0.4, 0.6, 1.0]),
+        cap=st.sampled_from([None, 1, 2, 3]),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_full_frequent_set_matches_baseline(
+        self, customer_events, minsup, cap
+    ):
+        db = SequenceDatabase.from_sequences(customer_events)
+        assert frequent_of(
+            db, minsup, max_pattern_length=cap
+        ) == baseline_frequent(db, minsup, max_pattern_length=cap)
+
+
+class TestStorageAndParallelEquivalence:
+    def test_partitioned_database_satisfies_stream_protocol(self, tmp_path):
+        pdb = PartitionedDatabase.from_database(
+            paper_db(), tmp_path / "p", partitions=2
+        )
+        assert isinstance(pdb, PartitionedRecordStream)
+        assert not isinstance(paper_db(), PartitionedRecordStream)
+
+    @pytest.mark.parametrize("partitions", [1, 2, 5])
+    def test_partitioned_matches_in_memory(self, tmp_path, partitions):
+        db = paper_db()
+        pdb = PartitionedDatabase.from_database(
+            db, tmp_path / f"p{partitions}", partitions=partitions
+        )
+        assert frequent_of(pdb, 0.25) == frequent_of(db, 0.25)
+
+    def test_partitioned_with_delta_generations(self, tmp_path):
+        """Appended deltas (overlays spliced at read time) stream
+        through ``iter_partition`` like base customers."""
+        db = paper_db()
+        base = SequenceDatabase(list(db)[:3])
+        pdb = PartitionedDatabase.from_database(
+            base, tmp_path / "p", partitions=2
+        )
+        pdb.append_delta(iter(list(db)[3:]))
+        assert frequent_of(pdb, 0.25) == frequent_of(db, 0.25)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_matches_serial(self, workers):
+        db = paper_db()
+        assert frequent_of(db, 0.25, workers=workers) == frequent_of(
+            db, 0.25
+        )
+
+    def test_parallel_chunk_size_one(self):
+        """One seed per shard — the maximally sharded decomposition."""
+        db = paper_db()
+        assert frequent_of(
+            db, 0.25, workers=2, chunk_size=1
+        ) == frequent_of(db, 0.25)
+
+    def test_parallel_partitioned_matches_serial(self, tmp_path):
+        db = paper_db()
+        pdb = PartitionedDatabase.from_database(
+            db, tmp_path / "p", partitions=3
+        )
+        assert frequent_of(pdb, 0.25, workers=2) == frequent_of(db, 0.25)
+
+
+class TestMaxPatternLengthBoundary:
+    """Pin the exact cap semantics at ``len(prefix) == max_pattern_length``.
+
+    The cap counts **events**. An s-extension opens a new event, so it is
+    blocked once the prefix holds ``cap`` events; an i-extension only
+    widens the last event, so it is still allowed at the cap. Baseline,
+    engine, and the core (transformed-alphabet) miner must agree — in the
+    id alphabet a sequence of k litemset ids has exactly k events, so the
+    three notions of "length" coincide.
+    """
+
+    #: Both customers support <(1)(2)> and <(1)(2 3)>: at cap 2 the
+    #: prefix (1)(2) sits exactly at the boundary — growing 3 *into* the
+    #: last event is legal (still 2 events), appending (3) is not.
+    BOUNDARY_DB = [
+        [(1,), (2, 3)],
+        [(1,), (2, 3), (4,)],
+    ]
+
+    def test_i_extension_allowed_at_cap(self):
+        db = SequenceDatabase.from_sequences(self.BOUNDARY_DB)
+        frequent = frequent_of(db, 1.0, max_pattern_length=2)
+        assert (frozenset({1}), frozenset({2, 3})) in frequent
+
+    def test_s_extension_blocked_at_cap(self):
+        db = SequenceDatabase.from_sequences(self.BOUNDARY_DB)
+        frequent = frequent_of(db, 0.5, max_pattern_length=2)
+        assert all(len(events) <= 2 for events in frequent)
+        # Without the cap, the 3-event sequence is frequent at 0.5.
+        uncapped = frequent_of(db, 0.5)
+        assert any(len(events) == 3 for events in uncapped)
+
+    @pytest.mark.parametrize("cap", [1, 2, 3])
+    def test_all_four_algorithms_agree_at_cap(self, cap):
+        db = paper_db()
+        answers = {}
+        for algorithm in ALL_ALGORITHM_NAMES:
+            result = mine(
+                db,
+                MiningParams(
+                    minsup=0.25,
+                    algorithm=algorithm,
+                    max_pattern_length=cap,
+                ),
+            )
+            answers[algorithm] = [
+                (p.sequence, p.count) for p in result.patterns
+            ]
+        baseline = [
+            (p.sequence, p.count)
+            for p in prefixspan_mine(
+                db, 0.25, max_pattern_length=cap, maximal=True
+            )
+        ]
+        for algorithm, got in answers.items():
+            assert got == baseline, algorithm
+
+    @given(
+        customer_events=st.lists(
+            my.event_lists(max_item=5, max_size=2, max_events=4),
+            min_size=1,
+            max_size=5,
+        ),
+        cap=st.sampled_from([1, 2]),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_property_engine_and_baseline_agree_at_cap(
+        self, customer_events, cap
+    ):
+        db = SequenceDatabase.from_sequences(customer_events)
+        assert frequent_of(
+            db, 0.5, max_pattern_length=cap
+        ) == baseline_frequent(db, 0.5, max_pattern_length=cap)
+
+
+class TestSupportThresholdBoundaries:
+    """``support_threshold`` rounding boundaries, agreed by all four
+    algorithms (ISSUE 9 satellite; src/repro/db/database.py:102).
+
+    The interesting minsup values are where ``minsup * num_customers``
+    is exactly integral — the paper's "min_support customers or more"
+    must include equality — and one floating-point ulp to either side,
+    where naive ``ceil`` without the epsilon guard would jump a whole
+    customer.
+    """
+
+    @pytest.mark.parametrize("num_customers", [4, 5, 8, 10])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_integral_and_ulp_neighbors(self, num_customers, k):
+        if k > num_customers:
+            pytest.skip("threshold above database size")
+        exact = k / num_customers
+        for minsup in (
+            math.nextafter(exact, 0.0),
+            exact,
+            math.nextafter(exact, 1.0),
+        ):
+            got = support_threshold(minsup, num_customers)
+            # The epsilon guard absorbs ±1ulp noise around an integral
+            # product: all three neighbors land on the same threshold.
+            assert got == max(1, k), (minsup, num_customers)
+
+    @pytest.mark.parametrize(
+        "minsup",
+        [
+            2 / 5,
+            math.nextafter(2 / 5, 0.0),
+            math.nextafter(2 / 5, 1.0),
+            3 / 5,
+            math.nextafter(3 / 5, 0.0),
+        ],
+    )
+    def test_all_four_algorithms_agree_at_boundary(self, minsup):
+        db = paper_db()  # 5 customers
+        answers = []
+        for algorithm in ALL_ALGORITHM_NAMES:
+            result = mine(db, MiningParams(minsup=minsup, algorithm=algorithm))
+            answers.append([(p.sequence, p.count) for p in result.patterns])
+        assert all(got == answers[0] for got in answers[1:])
+        assert answers[0], "boundary minsup should still admit patterns"
+
+    @given(
+        customer_events=st.lists(
+            my.event_lists(max_item=5, max_size=2, max_events=3),
+            min_size=2,
+            max_size=6,
+        ),
+        k=st.integers(min_value=1, max_value=3),
+        direction=st.sampled_from([-1, 0, 1]),
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_property_boundary_minsup_identical_pattern_sets(
+        self, customer_events, k, direction
+    ):
+        db = SequenceDatabase.from_sequences(customer_events)
+        n = db.num_customers
+        if k > n:
+            return
+        exact = k / n
+        if direction < 0:
+            minsup = math.nextafter(exact, 0.0)
+        elif direction > 0:
+            minsup = min(1.0, math.nextafter(exact, 1.0))
+        else:
+            minsup = exact
+        answers = []
+        for algorithm in ALL_ALGORITHM_NAMES:
+            result = mine(db, MiningParams(minsup=minsup, algorithm=algorithm))
+            answers.append([(p.sequence, p.count) for p in result.patterns])
+        assert all(got == answers[0] for got in answers[1:])

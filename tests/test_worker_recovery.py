@@ -57,6 +57,7 @@ _KILL_DIR = None
 
 _ORIGINAL_COUNT_SHARD = executor._count_shard
 _ORIGINAL_LENGTH2_SHARD = executor._count_length2_shard
+_ORIGINAL_PREFIXSPAN_SHARD = executor._prefixspan_shard
 
 
 def _mark_once(name: str) -> bool:
@@ -84,6 +85,14 @@ def _killing_length2_shard(bounds):
         if _mark_once(f"killed-l2-{bounds[0]}-{bounds[1]}"):
             os.kill(os.getpid(), signal.SIGKILL)
     return _ORIGINAL_LENGTH2_SHARD(bounds)
+
+
+def _killing_prefixspan_shard(bounds):
+    """Same, for the pattern-growth engine's seed shards."""
+    if _KILL_DIR is not None and os.getpid() != _PARENT_PID:
+        if _mark_once(f"killed-ps-{bounds[0]}-{bounds[1]}"):
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _ORIGINAL_PREFIXSPAN_SHARD(bounds)
 
 
 def _child_hostile_task(bounds):
@@ -149,6 +158,40 @@ class TestWorkerLossRecovery:
                 MiningParams(
                     minsup=0.3,
                     counting=CountingOptions(workers=2, chunk_size=3),
+                ),
+            )
+        assert [(p.sequence, p.count) for p in parallel.patterns] == [
+            (p.sequence, p.count) for p in serial.patterns
+        ]
+        assert any(kill_dir.iterdir()), "no worker was actually killed"
+
+    def test_sigkilled_worker_mid_prefixspan_run_completes(
+        self, fast_retries, kill_dir, monkeypatch, caplog
+    ):
+        """The pattern-growth engine rides the same recovery contract:
+        SIGKILL a seed-shard worker mid-run; the merged frequent set is
+        identical to serial."""
+        monkeypatch.setattr(
+            executor, "_prefixspan_shard", _killing_prefixspan_shard
+        )
+        db = SequenceDatabase.from_sequences(
+            [list(s) for s in SEQUENCES] * 3
+        )
+        serial = mine(
+            db,
+            MiningParams(
+                minsup=0.3,
+                algorithm="prefixspan",
+                counting=CountingOptions(workers=1),
+            ),
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            parallel = mine(
+                db,
+                MiningParams(
+                    minsup=0.3,
+                    algorithm="prefixspan",
+                    counting=CountingOptions(workers=2, chunk_size=1),
                 ),
             )
         assert [(p.sequence, p.count) for p in parallel.patterns] == [
