@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Serving-tier benchmark: query latency, throughput, and hot-swap stall.
+
+Mines a synthetic dataset into a patterns file, starts the asyncio
+:class:`~repro.serving.server.PatternServer` in-process, then drives it
+over real TCP connections (keep-alive HTTP/1.1, one connection per
+client) in two phases:
+
+* **query** — for each concurrency level, every client issues a fixed
+  number of ``/match`` + ``/predict`` requests; rows record p50/p99
+  latency and aggregate requests/second.
+* **swap_under_load** — clients keep querying while the pattern file is
+  atomically rewritten and hot-swapped in a loop. The row records that
+  zero requests errored, how many snapshot generations responses
+  observed, and the measured stall: the worst request latency during
+  swapping compared against the worst latency of the no-swap baseline
+  at the same concurrency (``stall_ms``), plus how many swap-phase
+  requests exceeded that baseline maximum (``stalled_requests``). A
+  snapshot publish is one attribute assignment, so at most the requests
+  in flight at that instant can even observe the swap.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py
+      PYTHONPATH=src python benchmarks/bench_serving.py \
+          --concurrency 1,4,16 --requests 300 --output BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from typing import Any
+from urllib.parse import quote
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from results_io import write_bench_json  # noqa: E402
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.io.patterns import read_patterns, write_patterns  # noqa: E402
+from repro.serving.index import PatternIndex  # noqa: E402
+from repro.serving.server import PatternServer  # noqa: E402
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def prepare_patterns(args: argparse.Namespace, workdir: str) -> str:
+    """Generate and mine the dataset once; return the patterns path."""
+    data = os.path.join(workdir, "data.spmf")
+    patterns = os.path.join(workdir, "patterns.txt")
+    if cli_main([
+        "generate", "--dataset", args.dataset,
+        "--customers", str(args.customers), "--seed", str(args.seed),
+        "--output", data,
+    ]) != 0:
+        raise ValueError("dataset generation failed")
+    if cli_main([
+        "mine", "--input", data, "--minsup", str(args.minsup),
+        "--output", patterns,
+    ]) != 0:
+        raise ValueError("mining failed")
+    return patterns
+
+
+def build_targets(patterns_path: str, batch: int) -> list[bytes]:
+    """Pre-render one batch of raw HTTP requests derived from the mined
+    patterns (full containers for /match, prefixes for /predict)."""
+    index = PatternIndex.from_file(patterns_path)
+    mined = sorted(index.patterns(), key=lambda p: p.sequence.sort_key())
+    if not mined:
+        raise ValueError("no patterns mined; lower --minsup")
+    requests: list[bytes] = []
+    for i in range(batch):
+        pattern = mined[i % len(mined)]
+        text = quote(str(pattern.sequence))
+        if i % 2 == 0:
+            target = f"/match?seq={text}"
+        else:
+            target = f"/predict?seq={text}&k=5"
+        requests.append(
+            (
+                f"GET {target} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: 0\r\n\r\n"
+            ).encode("latin-1")
+        )
+    return requests
+
+
+async def run_client(
+    port: int,
+    requests: list[bytes],
+    latencies: list[float],
+    generations: set[int],
+    errors: list[str],
+) -> None:
+    """One keep-alive connection issuing every request in sequence."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for raw in requests:
+            started = time.perf_counter()
+            writer.write(raw)
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            body = await reader.readexactly(length)
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            if status != 200:
+                errors.append(f"HTTP {status}: {body[:100]!r}")
+            else:
+                payload = json.loads(body)
+                if "generation" in payload:
+                    generations.add(int(payload["generation"]))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def measure_level(
+    server: PatternServer,
+    requests: list[bytes],
+    concurrency: int,
+) -> dict[str, Any]:
+    latencies: list[float] = []
+    generations: set[int] = set()
+    errors: list[str] = []
+    started = time.perf_counter()
+    await asyncio.gather(*(
+        run_client(server.port, requests, latencies, generations, errors)
+        for _ in range(concurrency)
+    ))
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise ValueError(f"{len(errors)} failed requests: {errors[0]}")
+    return {
+        "mode": "query",
+        "concurrency": concurrency,
+        "requests": len(latencies),
+        "p50_ms": round(percentile(latencies, 0.50), 4),
+        "p99_ms": round(percentile(latencies, 0.99), 4),
+        "max_ms": round(max(latencies), 4),
+        "req_per_s": round(len(latencies) / elapsed, 1),
+    }
+
+
+async def measure_swaps(
+    server: PatternServer,
+    patterns_path: str,
+    requests: list[bytes],
+    concurrency: int,
+    swaps: int,
+    baseline_max_ms: float,
+) -> dict[str, Any]:
+    latencies: list[float] = []
+    generations: set[int] = set()
+    errors: list[str] = []
+    clients_done = asyncio.Event()
+    swap_ms: list[float] = []
+
+    async def swapper() -> None:
+        content = list(read_patterns(patterns_path, strict=True))
+        performed = 0
+        while performed < swaps and not clients_done.is_set():
+            write_patterns(content, patterns_path)
+            started = time.perf_counter()
+            await server.reload()
+            swap_ms.append((time.perf_counter() - started) * 1000.0)
+            performed += 1
+            await asyncio.sleep(0)
+
+    async def clients() -> None:
+        try:
+            await asyncio.gather(*(
+                run_client(
+                    server.port, requests, latencies, generations, errors
+                )
+                for _ in range(concurrency)
+            ))
+        finally:
+            clients_done.set()
+
+    await asyncio.gather(swapper(), clients())
+    if errors:
+        raise ValueError(f"{len(errors)} failed requests: {errors[0]}")
+    stalled = sum(1 for ms in latencies if ms > baseline_max_ms)
+    return {
+        "mode": "swap_under_load",
+        "concurrency": concurrency,
+        "requests": len(latencies),
+        "swaps": len(swap_ms),
+        "errors": 0,
+        "generations_observed": len(generations),
+        "p50_ms": round(percentile(latencies, 0.50), 4),
+        "p99_ms": round(percentile(latencies, 0.99), 4),
+        "max_ms": round(max(latencies), 4),
+        "baseline_max_ms": round(baseline_max_ms, 4),
+        "stall_ms": round(max(0.0, max(latencies) - baseline_max_ms), 4),
+        "stalled_requests": stalled,
+        "stalled_per_swap": round(stalled / max(1, len(swap_ms)), 3),
+        "mean_swap_ms": round(statistics.fmean(swap_ms), 4),
+    }
+
+
+async def run_benchmark(
+    args: argparse.Namespace, patterns_path: str
+) -> list[dict[str, Any]]:
+    requests = build_targets(patterns_path, args.requests)
+    server = PatternServer(patterns_path)
+    await server.start()
+    try:
+        rows: list[dict[str, Any]] = []
+        # Warm up the loop and code paths before timing anything.
+        await measure_level(server, requests[: min(50, len(requests))], 2)
+        baseline_max = 0.0
+        for concurrency in args.levels:
+            row = await measure_level(server, requests, concurrency)
+            baseline_max = max(baseline_max, row["max_ms"])
+            rows.append(row)
+            print(
+                f"query c={concurrency}: p50={row['p50_ms']}ms "
+                f"p99={row['p99_ms']}ms {row['req_per_s']} req/s"
+            )
+        swap_row = await measure_swaps(
+            server,
+            patterns_path,
+            requests,
+            max(args.levels),
+            args.swaps,
+            baseline_max,
+        )
+        rows.append(swap_row)
+        print(
+            f"swap_under_load c={swap_row['concurrency']}: "
+            f"{swap_row['swaps']} swaps, errors={swap_row['errors']}, "
+            f"stall={swap_row['stall_ms']}ms "
+            f"({swap_row['stalled_per_swap']} stalled req/swap)"
+        )
+        return rows
+    finally:
+        await server.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="C10-T2.5-S4-I1.25")
+    parser.add_argument("--customers", type=int, default=200)
+    parser.add_argument("--minsup", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--requests", type=int, default=200,
+                        help="requests per client per level")
+    parser.add_argument("--concurrency", default="1,4,16",
+                        help="comma-separated client counts (>= 3 levels "
+                        "for a committed snapshot)")
+    parser.add_argument("--swaps", type=int, default=25,
+                        help="hot swaps performed during the load phase")
+    parser.add_argument("--output", default="BENCH_serving.json")
+    args = parser.parse_args()
+    args.levels = [int(part) for part in args.concurrency.split(",") if part]
+    if not args.levels:
+        raise ValueError("--concurrency must name at least one level")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        patterns_path = prepare_patterns(args, workdir)
+        rows = asyncio.run(run_benchmark(args, patterns_path))
+
+    config = {
+        key: value
+        for key, value in vars(args).items()
+        if key not in ("output", "levels")
+    }
+    write_bench_json(args.output, "serving", config=config, rows=rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

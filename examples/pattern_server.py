@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Serve mined patterns over HTTP and hot-swap a new snapshot live.
+
+The walkthrough mirrors a production deploy:
+
+1. generate a synthetic dataset and mine it into a versioned patterns
+   file (the exact artifact ``seqmine mine --output`` publishes);
+2. start the asyncio :class:`repro.serving.PatternServer` on a free
+   port and answer ``/match`` and ``/predict`` queries over real TCP;
+3. re-mine at a lower minimum support — more patterns — rewrite the
+   file atomically, hit ``/reload``, and watch the same query answer
+   from the new snapshot generation with zero downtime.
+
+Every step asserts its own invariants; the script exits nonzero if the
+served answers ever disagree with a locally built index.
+
+Run:  PYTHONPATH=src python examples/pattern_server.py
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as seqmine
+from repro.serving import PatternIndex, PatternServer
+from repro.serving.client import match, predict, reload_server, server_stats
+
+DATASET = "C10-T2.5-S4-I1.25"
+CUSTOMERS = 120
+SEED = 7
+
+
+def mine(data: Path, patterns: Path, minsup: float) -> None:
+    code = seqmine([
+        "mine", "--input", str(data), "--minsup", str(minsup),
+        "--output", str(patterns),
+    ])
+    assert code == 0, f"mining at minsup={minsup} failed"
+
+
+async def serve_and_query(data: Path, patterns: Path) -> None:
+    server = PatternServer(patterns)
+    await server.start()
+    base_url = server.address
+    loop = asyncio.get_running_loop()
+    try:
+        stats = await loop.run_in_executor(None, server_stats, base_url)
+        print(f"serving {stats['patterns']} patterns "
+              f"(generation {stats['generation']}) at {base_url}")
+
+        # Query with each mined pattern's own sequence: it must match.
+        local = PatternIndex.from_file(patterns)
+        some_pattern = next(iter(local.patterns()))
+        query = str(some_pattern.sequence)
+        answer = await loop.run_in_executor(None, match, base_url, query)
+        assert answer["num_matched"] >= 1, f"{query} should match itself"
+        print(f"match {query}: {answer['num_matched']} pattern(s)")
+
+        ranked = await loop.run_in_executor(
+            None, lambda: predict(base_url, "<>", 3)
+        )
+        print("top openings:", [p["event"] for p in ranked["predictions"]])
+
+        # Deploy a richer snapshot: lower minsup → strictly more
+        # patterns → hot-swap without restarting the server.
+        mine(data, patterns, minsup=0.04)
+        swapped = await loop.run_in_executor(None, reload_server, base_url)
+        assert swapped["generation"] == 2, swapped
+        after = await loop.run_in_executor(None, server_stats, base_url)
+        assert after["patterns"] >= stats["patterns"]
+        print(f"hot-swapped to generation {after['generation']}: "
+              f"{stats['patterns']} -> {after['patterns']} patterns, "
+              f"0 requests dropped")
+
+        # The served answer must agree with a locally rebuilt index.
+        rebuilt = PatternIndex.from_file(patterns)
+        answer = await loop.run_in_executor(None, match, base_url, query)
+        assert answer["num_matched"] == len(
+            rebuilt.match(some_pattern.sequence.events)
+        )
+    finally:
+        await server.close()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        data = Path(tmp) / "data.spmf"
+        patterns = Path(tmp) / "patterns.txt"
+        assert seqmine([
+            "generate", "--dataset", DATASET,
+            "--customers", str(CUSTOMERS), "--seed", str(SEED),
+            "--output", str(data),
+        ]) == 0
+        mine(data, patterns, minsup=0.06)
+        asyncio.run(serve_and_query(data, patterns))
+    print("pattern_server example: all assertions passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,9 @@ storage (:mod:`repro.db.partitioned`), GSP-style time constraints
 appended deltas (:mod:`repro.incremental`), and a pattern-growth
 engine — PrefixSpan with pseudo-projection and out-of-core streaming
 (:mod:`repro.core.prefixspan`) — as a fourth algorithm whose output is
-byte-identical to the candidate family's.
+byte-identical to the candidate family's, and a pattern-serving tier
+(:mod:`repro.serving`) that answers indexed match/predict queries over
+mined patterns behind a hot-swappable asyncio HTTP server.
 
 Quickstart::
 
@@ -63,6 +65,7 @@ from repro.db.database import CustomerSequence, SequenceDatabase, support_thresh
 from repro.db.partitioned import PartitionedDatabase
 from repro.db.records import Transaction
 from repro.incremental import MiningState, UpdateOutcome, update_mining
+from repro.serving import PatternIndex, PatternServer
 
 __version__ = "1.1.0"
 
@@ -79,6 +82,8 @@ __all__ = [
     "NextLengthPolicy",
     "PartitionedDatabase",
     "Pattern",
+    "PatternIndex",
+    "PatternServer",
     "PrefixSpanResult",
     "Sequence",
     "SequenceDatabase",

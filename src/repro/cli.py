@@ -15,6 +15,11 @@ Subcommands:
 * ``seqmine fsck`` — validate a partitioned-database directory and
   repair what is repairable (quarantine damaged delta generations,
   remove interrupted-write orphans and invalid caches).
+* ``seqmine serve`` — run the pattern-serving HTTP service over a mined
+  pattern file (:mod:`repro.serving`); ``POST /reload`` or ``SIGHUP``
+  hot-swaps a freshly mined snapshot with zero downtime.
+* ``seqmine query`` — one ``match``/``predict`` query, either against a
+  local pattern file (in-process index) or a running server (``--url``).
 * ``seqmine info`` — dataset statistics (paper Table 2 columns).
 * ``seqmine experiment`` — regenerate a paper table/figure by id.
 
@@ -403,6 +408,99 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving.server import PatternServer
+
+    server = PatternServer(args.patterns, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        snapshot = server.snapshot
+        print(
+            f"serving {snapshot.num_patterns} patterns "
+            f"(generation {snapshot.generation}) on {server.address} — "
+            f"hot-swap with 'POST /reload' or SIGHUP after re-mining "
+            f"{args.patterns}",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _render_query_payload(payload: dict[str, Any], args: argparse.Namespace) -> None:
+    """Human/JSON rendering shared by the local and --url query paths."""
+    import json as _json
+
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+        return
+    generation = payload.get("generation")
+    if generation is not None:
+        print(f"generation {generation}", file=sys.stderr)
+    if args.predict is not None:
+        for entry in payload["predictions"]:
+            event = "(" + " ".join(str(i) for i in entry["event"]) + ")"
+            print(
+                f"{event}  (support {entry['support']:.2%}, "
+                f"{entry['count']} customers)"
+            )
+    else:
+        for entry in payload["patterns"]:
+            print(
+                f"{entry['pattern']}  (support {entry['support']:.2%}, "
+                f"{entry['count']} customers)"
+            )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if (args.patterns is None) == (args.url is None):
+        raise ValueError("exactly one of --patterns or --url is required")
+    if args.predict is not None and args.predict < 0:
+        raise ValueError(f"--predict must be >= 0, got {args.predict}")
+    if args.url is not None:
+        from repro.serving import client
+
+        if args.predict is not None:
+            payload = client.predict(args.url, args.seq, args.predict)
+        else:
+            payload = client.match(args.url, args.seq)
+    else:
+        from repro.serving.index import (
+            PatternIndex,
+            parse_query,
+            pattern_payload,
+            prediction_payload,
+        )
+
+        index = PatternIndex.from_file(args.patterns)
+        events = parse_query(args.seq)
+        if args.predict is not None:
+            payload = {
+                "predictions": [
+                    prediction_payload(p)
+                    for p in index.predict_next(events, args.predict)
+                ]
+            }
+        else:
+            matched = index.match(events)
+            payload = {
+                "num_matched": len(matched),
+                "patterns": [pattern_payload(p) for p in matched],
+            }
+    _render_query_payload(payload, args)
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     db = _load_database(args.input, args.format)
     for key, value in db.stats().as_row().items():
@@ -598,6 +696,39 @@ def build_parser() -> argparse.ArgumentParser:
                           "quarantined (*.quarantined), interrupted "
                           "writes and invalid caches removed")
     fsck_cmd.set_defaults(func=_cmd_fsck)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve match/predict queries over a mined pattern file")
+    serve_cmd.add_argument("--patterns", required=True,
+                           help="pattern file from 'seqmine mine --output' "
+                           "(versioned header required); re-mine it and "
+                           "POST /reload (or SIGHUP) to hot-swap")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765,
+                           help="listening port (default 8765; 0 picks a "
+                           "free port, printed on startup)")
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    query_cmd = sub.add_parser(
+        "query",
+        help="one match/predict query against a pattern file or server")
+    query_cmd.add_argument("--patterns", default=None,
+                           help="query an in-process index built from this "
+                           "pattern file (mutually exclusive with --url)")
+    query_cmd.add_argument("--url", default=None,
+                           help="query a running 'seqmine serve' instance, "
+                           "e.g. http://127.0.0.1:8765")
+    query_cmd.add_argument("--seq", required=True,
+                           help="the customer history in the paper's "
+                           "notation, e.g. '<(30)(40 70)>'; '<>' is the "
+                           "empty history")
+    query_cmd.add_argument("--predict", type=int, default=None, metavar="K",
+                           help="rank the top K next-event candidates "
+                           "instead of listing matched patterns")
+    query_cmd.add_argument("--json", action="store_true",
+                           help="print the full JSON payload")
+    query_cmd.set_defaults(func=_cmd_query)
 
     info = sub.add_parser("info", help="print dataset statistics")
     info.add_argument("--input", required=True)

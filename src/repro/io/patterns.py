@@ -7,6 +7,17 @@ Two formats:
   readable, diff-able, and what ``seqmine mine --output`` writes.
 * **JSON** — a list of ``{"events": [[...]], "count": n, "support": f}``
   objects, for programmatic consumers.
+
+The text format is **versioned and truncation-evident**: a written file
+starts with a ``#! seqmine-patterns v1`` header and ends with a
+``#! end <count>`` footer. A reader that sees the header demands the
+footer and an exact line count, so a crash-truncated copy (e.g. the
+orphaned ``*.tmp`` of an interrupted :func:`~repro.io.atomic.atomic_writer`)
+is rejected with :class:`TruncatedPatternsError` instead of silently
+loading a prefix of the pattern set. Headerless legacy files still read
+(lenient mode); consumers that must never serve from a partial file —
+the pattern-serving index — pass ``strict=True`` to also reject files
+with no header at all.
 """
 
 from __future__ import annotations
@@ -19,9 +30,26 @@ from repro.io.atomic import atomic_writer
 from repro.miner import Pattern
 from repro.core.sequence import Sequence, format_sequence, parse_sequence
 
+#: Version written into the ``#! seqmine-patterns v<N>`` header.
+FORMAT_VERSION = 1
+
+_HEADER_PREFIX = "seqmine-patterns v"
+_FOOTER_PREFIX = "end"
+
 
 class PatternFormatError(ValueError):
     """Raised for malformed pattern files."""
+
+
+class TruncatedPatternsError(PatternFormatError):
+    """A versioned pattern file whose footer is missing or inconsistent.
+
+    This is the signature a crash leaves: the header made it to disk but
+    the ``#! end <count>`` footer (or some of the pattern lines before
+    it) did not. Loaders must treat the file as unusable — a prefix of a
+    pattern set is *not* a smaller valid pattern set for serving
+    purposes, because predictions ranked over it would silently change.
+    """
 
 
 def format_pattern_line(pattern: Pattern) -> str:
@@ -53,28 +81,121 @@ def parse_pattern_line(line: str) -> Pattern:
 def write_patterns(
     patterns: Iterable[Pattern], target: str | Path | TextIO
 ) -> int:
-    """Write patterns as text; returns lines written."""
+    """Write a versioned text pattern file; returns patterns written.
+
+    The header/footer pair makes the file truncation-evident (see the
+    module docstring); the count returned excludes both directives.
+    """
     if isinstance(target, (str, Path)):
         with atomic_writer(target, "w") as handle:
             return write_patterns(patterns, handle)
+    target.write(f"#! {_HEADER_PREFIX}{FORMAT_VERSION}\n")
     written = 0
     for pattern in patterns:
         target.write(format_pattern_line(pattern) + "\n")
         written += 1
+    target.write(f"#! {_FOOTER_PREFIX} {written}\n")
     return written
 
 
-def read_patterns(source: str | Path | TextIO) -> list[Pattern]:
-    """Read a text pattern file (blank/comment lines skipped)."""
+def _parse_header(directive: str) -> None:
+    if not directive.startswith(_HEADER_PREFIX):
+        raise PatternFormatError(
+            f"unrecognized pattern-file header {('#! ' + directive)!r}"
+        )
+    version_text = directive[len(_HEADER_PREFIX):].strip()
+    try:
+        version = int(version_text)
+    except ValueError as exc:
+        raise PatternFormatError(
+            f"bad version in pattern-file header {('#! ' + directive)!r}"
+        ) from exc
+    if version != FORMAT_VERSION:
+        raise PatternFormatError(
+            f"unsupported pattern-file version {version} "
+            f"(this reader understands v{FORMAT_VERSION})"
+        )
+
+
+def _parse_footer(directive: str) -> int:
+    try:
+        return int(directive[len(_FOOTER_PREFIX):].strip())
+    except ValueError as exc:
+        raise TruncatedPatternsError(
+            f"garbled '#! end' footer {('#! ' + directive)!r} — "
+            f"the file is torn mid-footer"
+        ) from exc
+
+
+def read_patterns(
+    source: str | Path | TextIO, *, strict: bool = False
+) -> list[Pattern]:
+    """Read a text pattern file (blank/comment lines skipped).
+
+    A file opening with the ``#! seqmine-patterns`` header is validated
+    end to end: unknown versions and stray directives raise
+    :class:`PatternFormatError`; a missing, garbled, or miscounting
+    ``#! end`` footer raises :class:`TruncatedPatternsError`. Headerless
+    files read leniently unless ``strict=True``, which rejects them —
+    the mode for consumers that must never load a partial file.
+    """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
-            return read_patterns(handle)
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                return read_patterns(handle, strict=strict)
+        except UnicodeDecodeError as exc:
+            raise PatternFormatError(
+                f"{source}: not a text pattern file ({exc})"
+            ) from exc
     patterns = []
+    versioned = False
+    seen_content = False
+    footer_count: int | None = None
     for line in source:
         stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
+        if not stripped:
             continue
+        if stripped.startswith("#!"):
+            directive = stripped[2:].strip()
+            if not seen_content:
+                _parse_header(directive)
+                versioned = True
+            elif versioned and directive.startswith(_FOOTER_PREFIX):
+                if footer_count is not None:
+                    raise PatternFormatError(
+                        "duplicate '#! end' footer in pattern file"
+                    )
+                footer_count = _parse_footer(directive)
+            else:
+                raise PatternFormatError(
+                    f"unexpected directive {stripped!r} in pattern file"
+                )
+            seen_content = True
+            continue
+        seen_content = True
+        if stripped.startswith("#"):
+            continue
+        if footer_count is not None:
+            raise PatternFormatError(
+                "pattern line after the '#! end' footer"
+            )
         patterns.append(parse_pattern_line(stripped))
+    if versioned:
+        if footer_count is None:
+            raise TruncatedPatternsError(
+                "missing '#! end' footer — the pattern file is truncated"
+            )
+        if footer_count != len(patterns):
+            raise TruncatedPatternsError(
+                f"footer declares {footer_count} patterns but the file "
+                f"holds {len(patterns)} — the pattern file is truncated"
+            )
+    elif strict:
+        raise PatternFormatError(
+            "missing '#! seqmine-patterns' header (file predates the "
+            "versioned format, or is not a pattern file); re-mine with "
+            "--output to produce a versioned file"
+        )
     return patterns
 
 

@@ -1,0 +1,47 @@
+"""The pattern-serving tier: the read path over mined patterns.
+
+Mining (every other subsystem in this package) is the write path; this
+package is what the millions-of-users story actually queries. It has
+three pieces:
+
+* :mod:`repro.serving.index` — :class:`PatternIndex`, a prefix-trie
+  index compiled from one mined pattern file, answering ``match`` and
+  ``predict_next`` in a single sweep of the query sequence;
+* :mod:`repro.serving.server` — :class:`PatternServer`, an asyncio HTTP
+  service with hot-swappable, generation-stamped snapshots (zero
+  downtime, no torn reads);
+* :mod:`repro.serving.client` — stdlib helpers for talking to a running
+  server (used by ``seqmine query --url`` and the examples).
+
+Layering: serving sits *above* the mining pipeline and reads only its
+published artifact — the pattern file. It imports :mod:`repro.io` and
+:mod:`repro.core` surfaces but never the database internals
+(``repro.db``), the CLI, or the mining executors; the
+``serving-layering`` lint rule enforces this mechanically.
+"""
+
+from repro.serving.index import (
+    PatternIndex,
+    Prediction,
+    QueryEvents,
+    canonical_query,
+    parse_query,
+)
+from repro.serving.server import (
+    IndexSnapshot,
+    PatternServer,
+    RequestError,
+    ServingError,
+)
+
+__all__ = [
+    "IndexSnapshot",
+    "PatternIndex",
+    "PatternServer",
+    "Prediction",
+    "QueryEvents",
+    "RequestError",
+    "ServingError",
+    "canonical_query",
+    "parse_query",
+]

@@ -1,0 +1,90 @@
+"""A minimal stdlib client for the pattern server.
+
+``seqmine query --url`` and the runnable example speak to a running
+:class:`~repro.serving.server.PatternServer` through these helpers;
+they are deliberately thin (``urllib`` + JSON) so scripted consumers
+can copy the shape without pulling an HTTP library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+__all__ = [
+    "ServerResponseError",
+    "match",
+    "predict",
+    "reload_server",
+    "request_json",
+    "server_stats",
+]
+
+
+class ServerResponseError(ValueError):
+    """A non-2xx JSON response from the pattern server."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+
+
+def request_json(
+    url: str,
+    *,
+    method: str = "GET",
+    body: dict[str, Any] | None = None,
+    timeout: float = 10.0,
+) -> dict[str, Any]:
+    """One JSON round-trip with the server.
+
+    Raises :class:`ServerResponseError` for an HTTP error status (the
+    server's ``error`` field becomes the message) and :class:`OSError`
+    when the server is unreachable — both of which the CLI renders as
+    its usual one-line failure.
+    """
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    request = Request(url, data=data, method=method, headers=headers)
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except (ValueError, OSError):
+            detail = exc.reason if isinstance(exc.reason, str) else str(exc)
+        raise ServerResponseError(exc.code, str(detail)) from exc
+    except URLError as exc:
+        raise OSError(f"cannot reach {url}: {exc.reason}") from exc
+    if not isinstance(payload, dict):
+        raise ServerResponseError(200, "response is not a JSON object")
+    return payload
+
+
+def match(base_url: str, seq_text: str, *, timeout: float = 10.0) -> dict[str, Any]:
+    """``GET /match`` for a query in the paper's notation (``<>`` ok)."""
+    query = urlencode({"seq": seq_text})
+    return request_json(f"{base_url.rstrip('/')}/match?{query}", timeout=timeout)
+
+
+def predict(
+    base_url: str, seq_text: str, k: int = 5, *, timeout: float = 10.0
+) -> dict[str, Any]:
+    """``GET /predict`` for a query in the paper's notation."""
+    query = urlencode({"seq": seq_text, "k": k})
+    return request_json(f"{base_url.rstrip('/')}/predict?{query}", timeout=timeout)
+
+
+def server_stats(base_url: str, *, timeout: float = 10.0) -> dict[str, Any]:
+    return request_json(f"{base_url.rstrip('/')}/stats", timeout=timeout)
+
+
+def reload_server(base_url: str, *, timeout: float = 30.0) -> dict[str, Any]:
+    """``POST /reload`` — ask the server to hot-swap its snapshot."""
+    return request_json(
+        f"{base_url.rstrip('/')}/reload", method="POST", timeout=timeout
+    )

@@ -720,3 +720,106 @@ class TestRobustnessVerbs:
         assert out.rstrip().endswith("repaired")
         assert main(["fsck", str(parts)]) == 0
         assert capsys.readouterr().out.rstrip().endswith("clean")
+
+
+@pytest.fixture()
+def mined_patterns(paper_spmf, tmp_path):
+    path = tmp_path / "mined.txt"
+    assert main([
+        "mine", "--input", str(paper_spmf), "--minsup", "0.25",
+        "--output", str(path),
+    ]) == 0
+    return path
+
+
+class TestQuery:
+    def test_query_match_local(self, mined_patterns, capsys):
+        code = main([
+            "query", "--patterns", str(mined_patterns),
+            "--seq", "<(30)(40 60 70)(90)>",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "<(30)(90)>" in captured.out
+        assert "(support 40.00%, 2 customers)" in captured.out
+
+    def test_query_predict_local(self, mined_patterns, capsys):
+        code = main([
+            "query", "--patterns", str(mined_patterns),
+            "--seq", "<(30)>", "--predict", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "support" in out
+
+    def test_query_json_output(self, mined_patterns, capsys):
+        code = main([
+            "query", "--patterns", str(mined_patterns),
+            "--seq", "<(30)(90)>", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_matched"] >= 1
+        assert all("pattern" in p for p in payload["patterns"])
+
+    def test_query_requires_exactly_one_source(self, mined_patterns, capsys):
+        code = main(["query", "--seq", "<(30)>"])
+        assert code == 1
+        assert "exactly one" in one_line_error(capsys)
+        code = main([
+            "query", "--patterns", str(mined_patterns),
+            "--url", "http://127.0.0.1:1", "--seq", "<(30)>",
+        ])
+        assert code == 1
+        assert "exactly one" in one_line_error(capsys)
+
+    def test_query_rejects_negative_predict(self, mined_patterns, capsys):
+        code = main([
+            "query", "--patterns", str(mined_patterns),
+            "--seq", "<(30)>", "--predict", "-2",
+        ])
+        assert code == 1
+        assert "--predict" in one_line_error(capsys)
+
+    def test_query_bad_sequence_text(self, mined_patterns, capsys):
+        code = main([
+            "query", "--patterns", str(mined_patterns), "--seq", "30 90",
+        ])
+        assert code == 1
+        assert one_line_error(capsys)
+
+    def test_query_missing_patterns_file(self, tmp_path, capsys):
+        code = main([
+            "query", "--patterns", str(tmp_path / "absent.txt"),
+            "--seq", "<(30)>",
+        ])
+        assert code == 1
+        assert one_line_error(capsys)
+
+    def test_query_legacy_headerless_file_rejected(self, tmp_path, capsys):
+        legacy = tmp_path / "legacy.txt"
+        legacy.write_text("<(1)> #SUP: 2 #FREQ: 0.5\n", encoding="utf-8")
+        code = main(["query", "--patterns", str(legacy), "--seq", "<(1)>"])
+        assert code == 1
+        assert "header" in one_line_error(capsys)
+
+    def test_query_unreachable_url(self, capsys):
+        code = main([
+            "query", "--url", "http://127.0.0.1:9", "--seq", "<(30)>",
+        ])
+        assert code == 1
+        assert "cannot reach" in one_line_error(capsys)
+
+
+class TestServe:
+    def test_serve_missing_patterns_file(self, tmp_path, capsys):
+        code = main(["serve", "--patterns", str(tmp_path / "absent.txt")])
+        assert code == 1
+        assert one_line_error(capsys)
+
+    def test_serve_corrupt_patterns_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("#! seqmine-patterns v1\ngarbage\n", encoding="utf-8")
+        code = main(["serve", "--patterns", str(bad)])
+        assert code == 1
+        assert one_line_error(capsys)

@@ -17,7 +17,9 @@ from repro.io.csvio import (
     write_transactions_csv,
 )
 from repro.io.patterns import (
+    FORMAT_VERSION,
     PatternFormatError,
+    TruncatedPatternsError,
     format_pattern_line,
     parse_pattern_line,
     patterns_from_json,
@@ -202,3 +204,137 @@ class TestPatternFiles:
     def test_json_rejects(self, bad):
         with pytest.raises(PatternFormatError):
             patterns_from_json(bad)
+
+
+class TestVersionedPatternFormat:
+    """The truncation-evident header/footer protocol (PR 10)."""
+
+    PATTERNS = [
+        Pattern(sequence=Sequence([[30], [40, 70]]), count=2, support=0.4),
+        Pattern(sequence=Sequence([[30], [90]]), count=2, support=0.4),
+        Pattern(sequence=Sequence([[90]]), count=3, support=0.6),
+    ]
+
+    def write(self, tmp_path):
+        path = tmp_path / "patterns.txt"
+        write_patterns(self.PATTERNS, path)
+        return path
+
+    def test_written_file_is_versioned(self, tmp_path):
+        lines = self.write(tmp_path).read_text().splitlines()
+        assert lines[0] == f"#! seqmine-patterns v{FORMAT_VERSION}"
+        assert lines[-1] == f"#! end {len(self.PATTERNS)}"
+
+    def test_roundtrip_strict(self, tmp_path):
+        path = self.write(tmp_path)
+        assert read_patterns(path, strict=True) == self.PATTERNS
+
+    def test_empty_set_roundtrips(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        assert write_patterns([], path) == 0
+        assert read_patterns(path, strict=True) == []
+
+    def test_legacy_headerless_still_reads_leniently(self):
+        text = "<(1)> #SUP: 2 #FREQ: 0.5\n"
+        assert len(read_patterns(io.StringIO(text))) == 1
+        with pytest.raises(PatternFormatError, match="header"):
+            read_patterns(io.StringIO(text), strict=True)
+
+    def test_unknown_version_rejected(self):
+        text = "#! seqmine-patterns v99\n#! end 0\n"
+        with pytest.raises(PatternFormatError, match="unsupported"):
+            read_patterns(io.StringIO(text))
+
+    def test_unknown_directive_rejected(self):
+        text = (
+            "#! seqmine-patterns v1\n"
+            "#! frobnicate\n"
+            "#! end 0\n"
+        )
+        with pytest.raises(PatternFormatError, match="unexpected directive"):
+            read_patterns(io.StringIO(text))
+
+    def test_footer_count_mismatch_is_truncation(self):
+        text = (
+            "#! seqmine-patterns v1\n"
+            "<(1)> #SUP: 2 #FREQ: 0.5\n"
+            "#! end 2\n"
+        )
+        with pytest.raises(TruncatedPatternsError):
+            read_patterns(io.StringIO(text))
+
+    def test_pattern_line_after_footer_rejected(self):
+        text = (
+            "#! seqmine-patterns v1\n"
+            "#! end 0\n"
+            "<(1)> #SUP: 2 #FREQ: 0.5\n"
+        )
+        with pytest.raises(PatternFormatError, match="after"):
+            read_patterns(io.StringIO(text))
+
+    def test_every_byte_truncation_is_rejected_in_strict_mode(self, tmp_path):
+        """No proper prefix of a versioned file passes a strict read.
+
+        This is exactly the artifact an interrupted ``atomic_writer``
+        leaves behind as its ``*.tmp`` orphan: the head of the file
+        without the tail. Whatever byte the crash landed on, the loader
+        must refuse to serve the prefix as a smaller pattern set.
+        """
+        data = self.write(tmp_path).read_bytes()
+        torn = tmp_path / "torn.txt"
+        # Up to len-1: dropping only the final newline leaves the footer
+        # (and therefore the content) complete, which legitimately reads.
+        for cut in range(len(data) - 1):
+            torn.write_bytes(data[:cut])
+            with pytest.raises(PatternFormatError):
+                read_patterns(torn, strict=True)
+
+    def test_binary_garbage_rejected(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x00\xff\xfe garbage \x80\x81")
+        with pytest.raises(PatternFormatError):
+            read_patterns(path, strict=True)
+
+    def test_crash_during_rewrite_never_tears_published_file(self, tmp_path):
+        """Sweep a simulated crash across every traced I/O op of a
+        pattern-file rewrite: the published path always holds either the
+        complete old or the complete new pattern set, and any ``*.tmp``
+        orphan never strict-parses as a smaller valid set."""
+        from repro.testing.faults import (
+            FaultInjector,
+            SimulatedCrash,
+            count_io_ops,
+            inject_faults,
+        )
+
+        path = tmp_path / "patterns.txt"
+        old = self.PATTERNS[:1]
+        new = self.PATTERNS
+        write_patterns(old, path)
+        with count_io_ops(match="patterns.txt") as counter:
+            write_patterns(new, path)
+        total_ops = counter.ops_seen
+        assert total_ops > 0
+        for fail_at in range(total_ops):
+            write_patterns(old, path)  # reset to the old generation
+            injector = FaultInjector(fail_at, kind="kill", match="patterns.txt")
+            with inject_faults(injector):
+                try:
+                    write_patterns(new, path)
+                except SimulatedCrash:
+                    pass
+            assert injector.fired
+            published = read_patterns(path, strict=True)
+            assert published in (old, new)
+            for orphan in tmp_path.glob("*.tmp*"):
+                content = orphan.read_bytes()
+                orphan.unlink()
+                if not content:
+                    continue
+                restored = tmp_path / "orphan-copy.txt"
+                restored.write_bytes(content)
+                try:
+                    recovered = read_patterns(restored, strict=True)
+                except PatternFormatError:
+                    continue  # torn orphan correctly rejected
+                assert recovered == new  # complete orphan is fine

@@ -42,6 +42,7 @@ EXPECTED_RULES = [
     "deterministic-core",
     "durable-writes",
     "import-cycles",
+    "serving-layering",
 ]
 
 
@@ -206,6 +207,73 @@ class TestCoreLayeringRule:
             },
         )
         assert violations == []
+
+
+class TestServingLayeringRule:
+    def test_db_import_from_serving_fires(self):
+        violations = run_rule(
+            "serving-layering",
+            {
+                "repro.serving.__init__": "",
+                "repro.serving.index": "from repro.db.database import X\n",
+            },
+        )
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.path == "repro/serving/index.py"
+        assert "repro.db.database" in v.message
+
+    def test_lazy_cli_and_parallel_imports_fire(self):
+        violations = run_rule(
+            "serving-layering",
+            {
+                "repro.serving.__init__": "",
+                "repro.serving.server": (
+                    "def f() -> None:\n    from repro.cli import main\n"
+                    "def g() -> None:\n    import repro.parallel.pool\n"
+                ),
+            },
+        )
+        assert len(violations) == 2
+        assert all("lazy import" in v.message for v in violations)
+
+    def test_io_core_and_miner_imports_are_allowed(self):
+        violations = run_rule(
+            "serving-layering",
+            {
+                "repro.serving.__init__": "",
+                "repro.serving.index": (
+                    "from repro.core.sequence import Sequence\n"
+                    "from repro.io.patterns import read_patterns\n"
+                    "from repro.miner import Pattern\n"
+                ),
+            },
+        )
+        assert violations == []
+
+    def test_type_checking_import_is_exempt(self):
+        violations = run_rule(
+            "serving-layering",
+            {
+                "repro.serving.__init__": "",
+                "repro.serving.server": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.db.database import X\n"
+                ),
+            },
+        )
+        assert violations == []
+
+    def test_real_serving_package_is_clean(self):
+        # The rule must hold on the actual tree, not just fixtures.
+        from pathlib import Path
+
+        from tools.lint import LintContext
+
+        repo_root = Path(__file__).resolve().parent.parent
+        ctx = LintContext.from_root(repo_root, scan_roots=("src/repro",))
+        assert run_rules(ctx, [get_rule("serving-layering")]) == []
 
 
 class TestAllConsistencyRule:

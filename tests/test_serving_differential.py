@@ -1,0 +1,110 @@
+"""End-to-end differential test: every mining algorithm feeds serving.
+
+Mines the same generated dataset with each ``--algorithm`` through the
+real CLI, builds a :class:`PatternIndex` from each mined file, and
+asserts the serving answers — match and predict payloads — are
+identical across algorithms for a battery of queries. This pins the
+whole chain generate → mine → patterns file → index → response to one
+ground truth regardless of which miner produced the snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.miner import ALL_ALGORITHM_NAMES
+from repro.serving.index import (
+    PatternIndex,
+    pattern_payload,
+    prediction_payload,
+)
+
+@pytest.fixture(scope="module")
+def indexes(tmp_path_factory):
+    root = tmp_path_factory.mktemp("differential")
+    data = root / "data.spmf"
+    assert main([
+        "generate", "--dataset", "C10-T2.5-S4-I1.25",
+        "--customers", "40", "--seed", "11", "--output", str(data),
+    ]) == 0
+    built: dict[str, PatternIndex] = {}
+    for algorithm in ALL_ALGORITHM_NAMES:
+        mined = root / f"patterns-{algorithm}.txt"
+        assert main([
+            "mine", "--input", str(data), "--minsup", "0.05",
+            "--algorithm", algorithm, "--output", str(mined),
+        ]) == 0
+        built[algorithm] = PatternIndex.from_file(mined)
+    return built
+
+
+@pytest.fixture(scope="module")
+def query_battery(indexes):
+    """Queries derived from the mined patterns themselves (guaranteed
+    hits) plus empty and never-matching histories, so the differential
+    exercises both populated and empty responses."""
+    reference = next(iter(indexes.values()))
+    mined = sorted(reference.patterns(), key=lambda p: p.sequence.sort_key())
+    battery: list[tuple[tuple[int, ...], ...]] = [(), ((1, 2),)]
+    for pattern in mined[:: max(1, len(mined) // 8)]:
+        events = pattern.sequence.events
+        battery.append(events)            # full container: must match
+        battery.append(events[:1])        # prefix: predict fodder
+    # Prefer at least one multi-event pattern for strictly-later checks.
+    multi = [p for p in mined if len(p.sequence.events) >= 2]
+    assert multi, "dataset/minsup produced no multi-event patterns"
+    battery.append(multi[0].sequence.events)
+    return battery
+
+
+class TestAlgorithmDifferential:
+    def test_battery_is_nontrivial(self, indexes, query_battery):
+        reference = next(iter(indexes.values()))
+        assert reference.num_patterns > 0
+        # At least one query in the battery must actually match, or the
+        # differential below would vacuously compare empty lists.
+        assert any(reference.match(query) for query in query_battery)
+        assert any(
+            reference.predict_next(query, 3) for query in query_battery
+        )
+
+    def test_all_algorithms_serve_identical_matches(self, indexes, query_battery):
+        names = list(indexes)
+        reference = indexes[names[0]]
+        for query in query_battery:
+            expected = [pattern_payload(p) for p in reference.match(query)]
+            for name in names[1:]:
+                got = [pattern_payload(p) for p in indexes[name].match(query)]
+                assert got == expected, (
+                    f"algorithm {name!r} diverges from {names[0]!r} "
+                    f"on match({query})"
+                )
+
+    def test_all_algorithms_serve_identical_predictions(
+        self, indexes, query_battery
+    ):
+        names = list(indexes)
+        reference = indexes[names[0]]
+        for query in query_battery:
+            for k in (1, 3, 10):
+                expected = [
+                    prediction_payload(p)
+                    for p in reference.predict_next(query, k)
+                ]
+                for name in names[1:]:
+                    got = [
+                        prediction_payload(p)
+                        for p in indexes[name].predict_next(query, k)
+                    ]
+                    assert got == expected, (
+                        f"algorithm {name!r} diverges from {names[0]!r} "
+                        f"on predict({query}, k={k})"
+                    )
+
+    def test_index_shapes_agree(self, indexes):
+        shapes = {
+            name: (index.num_patterns, index.num_nodes, index.max_pattern_length)
+            for name, index in indexes.items()
+        }
+        assert len(set(shapes.values())) == 1, shapes

@@ -16,4 +16,5 @@ from tools.lint.rules import (  # noqa: F401  (registration side effects)
     durability,
     exports,
     layering,
+    serving_layering,
 )

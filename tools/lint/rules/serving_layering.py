@@ -1,0 +1,94 @@
+"""``serving-layering``: the serving tier reads snapshots, never mines.
+
+``repro/serving/`` answers queries from pattern files that the mining
+pipeline already published. It may depend on the algorithm layer
+(``repro.core``), the pattern-file readers (``repro.io``), and the miner
+datatypes (``repro.miner``) — but never on database internals
+(``repro.db``), the mining executors (``repro.parallel``), or the CLI
+(``repro.cli``). A serving module that opens databases or launches
+miners collapses the read path into the write path: hot swaps would
+inherit mining's memory and failure profile, and the server could no
+longer restart from nothing but a patterns file. Lazy imports inside
+functions count; ``if TYPE_CHECKING:`` imports are exempt.
+
+Intentional exceptions must be declared in :data:`EXEMPTIONS` with a
+reason; an exemption that no longer matches anything is itself an error,
+so the table cannot silently rot.
+"""
+
+from __future__ import annotations
+
+from tools.lint import LintContext, Rule, Violation, register
+
+#: Layer that must stay read-only over published snapshots.
+SERVING_PREFIX = "repro.serving"
+
+#: Write-path layers that serving must not import.
+FORBIDDEN_PREFIXES = ("repro.db", "repro.parallel", "repro.cli")
+
+#: ``{serving module: reason}`` — declared, reviewed layering exceptions.
+EXEMPTIONS: dict[str, str] = {}
+
+
+def _in_layer(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def check(ctx: LintContext) -> list[Violation]:
+    violations: list[Violation] = []
+    used_exemptions: set[str] = set()
+    for mf in ctx.modules(SERVING_PREFIX):
+        for imp in ctx.imports_of(mf.module):
+            if imp.kind == "type_checking":
+                continue
+            hits = sorted(
+                target
+                for target in ctx.resolve_targets(imp) | {imp.target}
+                for prefix in FORBIDDEN_PREFIXES
+                if _in_layer(target, prefix)
+            )
+            if not hits:
+                continue
+            if mf.module in EXEMPTIONS:
+                used_exemptions.add(mf.module)
+                continue
+            violations.append(
+                Violation(
+                    rule=RULE.name,
+                    path=mf.path,
+                    line=imp.line,
+                    message=(
+                        f"serving module {mf.module} has a {imp.kind} import "
+                        f"of {hits[0]}; serving/ reads published pattern "
+                        f"files via repro.io and repro.core only, never "
+                        f"{', '.join(FORBIDDEN_PREFIXES)}"
+                    ),
+                )
+            )
+    for module in sorted(set(EXEMPTIONS) - used_exemptions):
+        path = ctx.files[module].path if module in ctx.files else module
+        violations.append(
+            Violation(
+                rule=RULE.name,
+                path=path,
+                line=1,
+                message=(
+                    f"stale layering exemption for {module}: it no longer "
+                    f"imports a forbidden layer; delete it from EXEMPTIONS"
+                ),
+            )
+        )
+    return violations
+
+
+RULE = register(
+    Rule(
+        name="serving-layering",
+        summary=(
+            "repro.serving must not import repro.db, repro.parallel, or "
+            "repro.cli"
+        ),
+        explanation=__doc__ or "",
+        check=check,
+    )
+)
